@@ -1,0 +1,52 @@
+// Command pieobench regenerates the paper's evaluation tables and
+// figures (see DESIGN.md for the experiment index).
+//
+// Usage:
+//
+//	pieobench -experiment fig8        # one experiment
+//	pieobench -experiment all         # everything (default)
+//	pieobench -list                   # list experiment ids
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"pieo/internal/experiments"
+)
+
+func main() {
+	experiment := flag.String("experiment", "all", "experiment id to run, or 'all'")
+	format := flag.String("format", "table", "output format: table|csv")
+	list := flag.Bool("list", false, "list available experiment ids and exit")
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			fmt.Println(id)
+		}
+		return
+	}
+
+	ids := experiments.IDs()
+	if *experiment != "all" {
+		ids = []string{*experiment}
+	}
+	for _, id := range ids {
+		tab, err := experiments.Run(id)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pieobench:", err)
+			os.Exit(1)
+		}
+		switch *format {
+		case "table":
+			tab.Fprint(os.Stdout)
+		case "csv":
+			tab.FprintCSV(os.Stdout)
+		default:
+			fmt.Fprintf(os.Stderr, "pieobench: unknown format %q\n", *format)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,171 @@
+// Command pieosim runs a packet scheduling algorithm over a synthetic
+// workload on a simulated link and reports per-flow throughput, latency,
+// and PIEO list statistics.
+//
+// Examples:
+//
+//	pieosim -algo wf2q -flows 8 -weights 4,2,1,1,1,1,1,1
+//	pieosim -algo tokenbucket -flows 4 -rate 2.5 -duration 10
+//	pieosim -algo drr -flows 16 -workload poisson -load 0.8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+
+	"pieo/internal/algos"
+	"pieo/internal/clock"
+	"pieo/internal/flowq"
+	"pieo/internal/netsim"
+	"pieo/internal/pktgen"
+	"pieo/internal/sched"
+	"pieo/internal/stats"
+)
+
+func main() {
+	var (
+		algo     = flag.String("algo", "wf2q", "scheduling algorithm: fifo|drr|wfq|wf2q|tokenbucket|rcsp|priority|sjf|edf|lstf")
+		flows    = flag.Int("flows", 8, "number of flows")
+		link     = flag.Float64("link", 40, "link rate in Gbps")
+		duration = flag.Float64("duration", 5, "simulated duration in milliseconds")
+		workload = flag.String("workload", "backlogged", "workload: backlogged|cbr|poisson|onoff")
+		load     = flag.Float64("load", 0.9, "offered load as a fraction of link rate (open-loop workloads)")
+		mtu      = flag.Uint("mtu", 1500, "packet size in bytes")
+		weights  = flag.String("weights", "", "comma-separated per-flow weights (fair queueing)")
+		rate     = flag.Float64("rate", 1, "per-flow rate limit in Gbps (tokenbucket)")
+		seed     = flag.Int64("seed", 1, "workload random seed")
+	)
+	flag.Parse()
+
+	prog, err := program(*algo)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pieosim:", err)
+		os.Exit(1)
+	}
+	s := sched.New(prog, *flows+1, *link)
+
+	// Control plane: configure the flows.
+	for i := 0; i < *flows; i++ {
+		f := s.Flow(flowq.FlowID(i))
+		f.Priority = uint64(i)
+		f.RateGbps = *rate
+		f.Burst = 4 * float64(*mtu)
+		f.Tokens = f.Burst
+	}
+	if *weights != "" {
+		for i, w := range strings.Split(*weights, ",") {
+			v, err := strconv.ParseUint(strings.TrimSpace(w), 10, 64)
+			if err != nil || v == 0 {
+				fmt.Fprintf(os.Stderr, "pieosim: bad weight %q\n", w)
+				os.Exit(1)
+			}
+			if i < *flows {
+				s.SetWeight(flowq.FlowID(i), v)
+			}
+		}
+	}
+
+	until := clock.Time(*duration * 1e6) // ms -> ns
+	sim := netsim.New(netsim.Link{RateGbps: *link}, s)
+
+	perFlow := make([]uint64, *flows)
+	var delays []float64
+	var seq uint64
+	closedLoop := *workload == "backlogged"
+	sim.OnTransmit = func(now clock.Time, p flowq.Packet) {
+		perFlow[int(p.Flow)] += uint64(p.Size)
+		delays = append(delays, float64(now-p.Arrival))
+		if closedLoop {
+			seq++
+			sim.InjectOne(now, flowq.Packet{Flow: p.Flow, Size: p.Size, Arrival: now, Seq: seq})
+		}
+	}
+
+	// Workload.
+	rng := rand.New(rand.NewSource(*seed))
+	size := pktgen.FixedSize(uint32(*mtu))
+	switch *workload {
+	case "backlogged":
+		for i := 0; i < *flows; i++ {
+			for k := 0; k < 4; k++ {
+				seq++
+				sim.InjectOne(0, flowq.Packet{Flow: flowq.FlowID(i), Size: uint32(*mtu), Seq: seq})
+			}
+		}
+	case "cbr", "poisson", "onoff":
+		perFlowGbps := *link * *load / float64(*flows)
+		gap := pktgen.GapForRate(perFlowGbps, uint32(*mtu))
+		gens := make([]pktgen.Generator, *flows)
+		count := int(uint64(until) / uint64(gap))
+		for i := 0; i < *flows; i++ {
+			id := flowq.FlowID(i)
+			switch *workload {
+			case "cbr":
+				gens[i] = &pktgen.CBR{Flow: id, Size: size, Gap: gap, Count: count}
+			case "poisson":
+				gens[i] = &pktgen.Poisson{Flow: id, Size: size, MeanGap: float64(gap), Count: count, Rng: rng}
+			case "onoff":
+				gens[i] = &pktgen.OnOff{Flow: id, Size: size, BurstLen: 8, PktGap: gap / 4, IdleGap: 7 * gap, Count: count}
+			}
+		}
+		sim.Inject(pktgen.Merge(gens...))
+	default:
+		fmt.Fprintf(os.Stderr, "pieosim: unknown workload %q\n", *workload)
+		os.Exit(1)
+	}
+
+	sim.Run(until)
+
+	// Report.
+	fmt.Printf("algorithm: %s (%s)   link: %.0f Gbps   duration: %.2f ms   workload: %s\n",
+		prog.Name, prog.Model, *link, *duration, *workload)
+	fmt.Printf("packets sent: %d   link utilization: %.1f%%\n", sim.Sent(), 100*sim.Utilization())
+	var shares []float64
+	fmt.Println("flow  bytes        Gbps")
+	for i, b := range perFlow {
+		gbps := float64(b) * 8 / float64(until)
+		shares = append(shares, gbps)
+		fmt.Printf("%-4d  %-11d  %.3f\n", i, b, gbps)
+	}
+	fmt.Printf("fairness (Jain): %.4f\n", stats.JainIndex(shares))
+	if len(delays) > 0 {
+		sort.Float64s(delays)
+		sum := stats.Summarize(delays)
+		fmt.Printf("queueing delay ns: p50=%.0f p99=%.0f max=%.0f\n", sum.P50, sum.P99, sum.Max)
+	}
+	ls := s.List.Stats()
+	fmt.Printf("PIEO list: %d enq, %d deq, %d cycles, %d sublist reads, %d writes\n",
+		ls.Enqueues, ls.Dequeues, ls.Cycles, ls.SublistReads, ls.SublistWrites)
+}
+
+func program(algo string) (*sched.Program, error) {
+	switch algo {
+	case "fifo":
+		return algos.FIFO(), nil
+	case "drr":
+		return algos.DRR(), nil
+	case "wfq":
+		return algos.WFQ(), nil
+	case "wf2q":
+		return algos.WF2Q(), nil
+	case "tokenbucket", "tb":
+		return algos.TokenBucket(), nil
+	case "rcsp":
+		return algos.RCSP(), nil
+	case "priority", "sp":
+		return algos.StrictPriority(), nil
+	case "sjf":
+		return algos.SJF(), nil
+	case "edf":
+		return algos.EDF(), nil
+	case "lstf":
+		return algos.LSTF(), nil
+	default:
+		return nil, fmt.Errorf("unknown algorithm %q", algo)
+	}
+}

@@ -1,0 +1,17 @@
+package pieo
+
+import "pieo/internal/dict"
+
+// Dict is the §8 "PIEO as an abstract dictionary data type": an ordered
+// (key, value) store built on the PIEO ordered list, supporting search,
+// insert, delete and update in the same O(1)-model time as the
+// scheduling operations, plus successor (Ceiling) and range queries that
+// hashtables cannot answer.
+type Dict[V any] struct {
+	*dict.Dict[V]
+}
+
+// NewDict creates a dictionary holding up to capacity pairs.
+func NewDict[V any](capacity int) Dict[V] {
+	return Dict[V]{dict.New[V](capacity)}
+}

@@ -1,0 +1,77 @@
+// Hierarchical scheduling: the paper's §6.3 flagship experiment in
+// miniature. A two-level tree on a 40 Gbps link: Token Bucket rate
+// limits each VM at the top level, WF²Q+ shares each VM's budget fairly
+// across its flows at the bottom level. Each level is one physical PIEO,
+// logically partitioned per node via index-range predicates (§4.3).
+//
+// Run: go run ./examples/hierarchical
+package main
+
+import (
+	"fmt"
+
+	"pieo"
+)
+
+func main() {
+	const (
+		linkGbps = 40
+		duration = pieo.Time(20_000_000) // 20 ms
+		mtu      = 1500
+		nVMs     = 4
+		perVM    = 5
+	)
+	limits := []float64{4, 8, 12, 6}
+
+	h := pieo.NewHierarchy(linkGbps, pieo.TokenBucketPolicy())
+	var vms []*pieo.Node
+	id := pieo.FlowID(0)
+	for v := 0; v < nVMs; v++ {
+		vm := h.Root().AddNode(fmt.Sprintf("vm%d", v), pieo.WF2QPolicy())
+		for f := 0; f < perVM; f++ {
+			vm.AddFlow(id)
+			id++
+		}
+		vms = append(vms, vm)
+	}
+	h.Build()
+
+	// Control plane: per-VM rate limits.
+	for v, vm := range vms {
+		self := vm.Self()
+		self.RateGbps = limits[v]
+		self.Burst = 8 * mtu
+		self.Tokens = self.Burst
+	}
+
+	sim := pieo.NewSim(pieo.Link{RateGbps: linkGbps}, h)
+	flowBytes := make([]uint64, nVMs*perVM)
+	var seq uint64
+	sim.OnTransmit = func(now pieo.Time, p pieo.Packet) {
+		flowBytes[p.Flow] += uint64(p.Size)
+		seq++
+		sim.InjectOne(now, pieo.Packet{Flow: p.Flow, Size: p.Size, Seq: seq})
+	}
+	for f := pieo.FlowID(0); f < nVMs*perVM; f++ {
+		for k := 0; k < 4; k++ {
+			seq++
+			sim.InjectOne(0, pieo.Packet{Flow: f, Size: mtu, Seq: seq})
+		}
+	}
+	sim.Run(duration)
+
+	fmt.Printf("two-level hierarchy: %d VMs x %d flows on %d Gbps, %v ms simulated\n",
+		nVMs, perVM, linkGbps, uint64(duration)/1_000_000)
+	fmt.Println("vm   limit  measured  per-flow Gbps (WF2Q+ shares inside the VM)")
+	for v := 0; v < nVMs; v++ {
+		var vmBytes uint64
+		row := ""
+		for f := 0; f < perVM; f++ {
+			b := flowBytes[v*perVM+f]
+			vmBytes += b
+			row += fmt.Sprintf(" %.2f", float64(b)*8/float64(duration))
+		}
+		fmt.Printf("vm%-2d %-6.1f %-9.3f%s\n", v, limits[v], float64(vmBytes)*8/float64(duration), row)
+	}
+	fmt.Printf("link utilization: %.1f%%\n", 100*sim.Utilization())
+}

@@ -1,0 +1,3 @@
+module pieo
+
+go 1.22

@@ -1,0 +1,141 @@
+package clock
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestWallZeroValue(t *testing.T) {
+	var w Wall
+	if got := w.Now(); got != 0 {
+		t.Fatalf("zero Wall.Now() = %v, want 0", got)
+	}
+}
+
+func TestWallAdvance(t *testing.T) {
+	var w Wall
+	w.Advance(120)
+	w.Advance(30)
+	if got := w.Now(); got != 150 {
+		t.Fatalf("Now() = %v, want 150", got)
+	}
+}
+
+func TestWallAdvanceTo(t *testing.T) {
+	var w Wall
+	w.AdvanceTo(1000)
+	if got := w.Now(); got != 1000 {
+		t.Fatalf("Now() = %v, want 1000", got)
+	}
+	w.AdvanceTo(1000) // same instant is allowed
+	if got := w.Now(); got != 1000 {
+		t.Fatalf("Now() = %v, want 1000 after no-op advance", got)
+	}
+}
+
+func TestWallAdvanceToBackwardsPanics(t *testing.T) {
+	var w Wall
+	w.AdvanceTo(50)
+	defer func() {
+		if recover() == nil {
+			t.Fatalf("AdvanceTo backwards did not panic")
+		}
+	}()
+	w.AdvanceTo(49)
+}
+
+func TestVirtualOnTransmitAdvance(t *testing.T) {
+	var v Virtual
+	v.OnTransmit(10, Never) // no backlogged flows: only +x
+	if got := v.Now(); got != 10 {
+		t.Fatalf("Now() = %v, want 10", got)
+	}
+}
+
+func TestVirtualOnTransmitFloor(t *testing.T) {
+	var v Virtual
+	// min start time ahead of V+x: jump to it.
+	v.OnTransmit(5, 42)
+	if got := v.Now(); got != 42 {
+		t.Fatalf("Now() = %v, want 42 (floor to min start)", got)
+	}
+	// min start time behind V+x: plain advance wins.
+	v.OnTransmit(8, 5)
+	if got := v.Now(); got != 50 {
+		t.Fatalf("Now() = %v, want 50", got)
+	}
+}
+
+func TestVirtualSetOnlyForward(t *testing.T) {
+	var v Virtual
+	v.Set(100)
+	v.Set(10)
+	if got := v.Now(); got != 100 {
+		t.Fatalf("Now() = %v, want 100 (Set must not move backwards)", got)
+	}
+}
+
+func TestFixedSource(t *testing.T) {
+	var s Source = Fixed(77)
+	if got := s.Now(); got != 77 {
+		t.Fatalf("Fixed.Now() = %v, want 77", got)
+	}
+}
+
+func TestTimeString(t *testing.T) {
+	cases := []struct {
+		in   Time
+		want string
+	}{
+		{Always, "0"},
+		{Never, "never"},
+		{Time(123), "123"},
+	}
+	for _, c := range cases {
+		if got := c.in.String(); got != c.want {
+			t.Errorf("Time(%d).String() = %q, want %q", uint64(c.in), got, c.want)
+		}
+	}
+}
+
+// Property: virtual time is monotonic under any sequence of OnTransmit
+// calls, regardless of the (possibly stale) min-start values supplied.
+func TestVirtualMonotonicProperty(t *testing.T) {
+	f := func(steps []struct {
+		X        uint16
+		MinStart uint32
+	}) bool {
+		var v Virtual
+		prev := v.Now()
+		for _, s := range steps {
+			v.OnTransmit(Time(s.X), Time(s.MinStart))
+			if v.Now() < prev {
+				return false
+			}
+			prev = v.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: wall clock is monotonic under any mix of Advance deltas.
+func TestWallMonotonicProperty(t *testing.T) {
+	f := func(deltas []uint16) bool {
+		var w Wall
+		prev := w.Now()
+		for _, d := range deltas {
+			w.Advance(Time(d))
+			if w.Now() < prev {
+				return false
+			}
+			prev = w.Now()
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,217 @@
+package core_test
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pieo/internal/clock"
+	"pieo/internal/core"
+	"pieo/internal/refmodel"
+)
+
+// opKind enumerates the randomized operations of the differential fuzzer.
+type opKind int
+
+const (
+	opEnqueue opKind = iota
+	opDequeue
+	opDequeueFlow
+	opDequeueRange
+	opMinSendTime
+	opPeek
+	numOpKinds
+)
+
+// runDifferential drives the sublist implementation and the flat
+// reference model with an identical random operation stream and fails on
+// the first divergence or invariant violation.
+func runDifferential(t *testing.T, seed int64, capacity, steps int, rankSpace uint64, timeSpace int) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(seed))
+	impl := core.New(capacity)
+	ref := refmodel.New(capacity)
+	nextID := uint32(0)
+
+	for step := 0; step < steps; step++ {
+		switch opKind(rng.Intn(int(numOpKinds))) {
+		case opEnqueue:
+			e := core.Entry{
+				ID:       nextID,
+				Rank:     uint64(rng.Int63n(int64(rankSpace))),
+				SendTime: clock.Time(rng.Intn(timeSpace)),
+			}
+			if rng.Intn(16) == 0 {
+				e.SendTime = clock.Never
+			}
+			nextID++
+			gotErr := impl.Enqueue(e)
+			wantErr := ref.Enqueue(e)
+			if gotErr != wantErr {
+				t.Fatalf("seed %d step %d: Enqueue(%v) err = %v, ref %v", seed, step, e, gotErr, wantErr)
+			}
+		case opDequeue:
+			now := clock.Time(rng.Intn(timeSpace))
+			got, gotOK := impl.Dequeue(now)
+			want, wantOK := ref.Dequeue(now)
+			if gotOK != wantOK || got != want {
+				t.Fatalf("seed %d step %d: Dequeue(%v) = %v,%v, ref %v,%v", seed, step, now, got, gotOK, want, wantOK)
+			}
+		case opDequeueFlow:
+			var id uint32
+			if nextID > 0 {
+				id = uint32(rng.Intn(int(nextID)))
+			}
+			got, gotOK := impl.DequeueFlow(id)
+			want, wantOK := ref.DequeueFlow(id)
+			if gotOK != wantOK || got != want {
+				t.Fatalf("seed %d step %d: DequeueFlow(%d) = %v,%v, ref %v,%v", seed, step, id, got, gotOK, want, wantOK)
+			}
+		case opDequeueRange:
+			now := clock.Time(rng.Intn(timeSpace))
+			lo := uint32(rng.Intn(int(nextID) + 1))
+			hi := lo + uint32(rng.Intn(int(nextID)+1))
+			got, gotOK := impl.DequeueRange(now, lo, hi)
+			want, wantOK := ref.DequeueRange(now, lo, hi)
+			if gotOK != wantOK || got != want {
+				t.Fatalf("seed %d step %d: DequeueRange(%v,%d,%d) = %v,%v, ref %v,%v",
+					seed, step, now, lo, hi, got, gotOK, want, wantOK)
+			}
+		case opMinSendTime:
+			got, gotOK := impl.MinSendTime()
+			want, wantOK := ref.MinSendTime()
+			if gotOK != wantOK || (gotOK && got != want) {
+				t.Fatalf("seed %d step %d: MinSendTime = %v,%v, ref %v,%v", seed, step, got, gotOK, want, wantOK)
+			}
+		case opPeek:
+			now := clock.Time(rng.Intn(timeSpace))
+			got, gotOK := impl.Peek(now)
+			want, wantOK := ref.Peek(now)
+			if gotOK != wantOK || got != want {
+				t.Fatalf("seed %d step %d: Peek(%v) = %v,%v, ref %v,%v", seed, step, now, got, gotOK, want, wantOK)
+			}
+		}
+		if impl.Len() != ref.Len() {
+			t.Fatalf("seed %d step %d: Len = %d, ref %d", seed, step, impl.Len(), ref.Len())
+		}
+		if err := impl.CheckInvariants(); err != nil {
+			t.Fatalf("seed %d step %d: %v", seed, step, err)
+		}
+	}
+	// Final state must match entry for entry.
+	gotSnap, wantSnap := impl.Snapshot(), ref.Snapshot()
+	if len(gotSnap) != len(wantSnap) {
+		t.Fatalf("seed %d: snapshot len %d, ref %d", seed, len(gotSnap), len(wantSnap))
+	}
+	for i := range gotSnap {
+		if gotSnap[i] != wantSnap[i] {
+			t.Fatalf("seed %d: snapshot[%d] = %v, ref %v", seed, i, gotSnap[i], wantSnap[i])
+		}
+	}
+}
+
+func TestDifferentialSmallList(t *testing.T) {
+	// Tiny capacity stresses the full/empty sublist edge cases.
+	for seed := int64(0); seed < 20; seed++ {
+		runDifferential(t, seed, 9, 3000, 8, 8)
+	}
+}
+
+func TestDifferentialNarrowRanks(t *testing.T) {
+	// Few distinct ranks: constant FIFO tie-breaking pressure.
+	for seed := int64(100); seed < 110; seed++ {
+		runDifferential(t, seed, 64, 4000, 2, 4)
+	}
+}
+
+func TestDifferentialMediumList(t *testing.T) {
+	for seed := int64(200); seed < 206; seed++ {
+		runDifferential(t, seed, 256, 6000, 1<<16, 64)
+	}
+}
+
+func TestDifferentialLargeList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("large differential run")
+	}
+	runDifferential(t, 7, 4096, 30000, 1<<16, 256)
+}
+
+func TestDifferentialAlwaysEligible(t *testing.T) {
+	// timeSpace 1 forces every send_time to 0: pure priority-queue
+	// behavior (the §4.5 PIFO-emulation mode).
+	for seed := int64(300); seed < 306; seed++ {
+		runDifferential(t, seed, 128, 4000, 1<<12, 1)
+	}
+}
+
+// Property: for any batch of entries, draining the list at a permissive
+// time yields them in nondecreasing rank order with FIFO ties.
+func TestDrainOrderProperty(t *testing.T) {
+	f := func(ranks []uint16) bool {
+		if len(ranks) == 0 {
+			return true
+		}
+		if len(ranks) > 512 {
+			ranks = ranks[:512]
+		}
+		l := core.New(len(ranks))
+		for i, r := range ranks {
+			if err := l.Enqueue(core.Entry{ID: uint32(i), Rank: uint64(r), SendTime: clock.Always}); err != nil {
+				return false
+			}
+		}
+		prevRank := uint64(0)
+		prevIDByRank := make(map[uint64]uint32)
+		for range ranks {
+			e, ok := l.Dequeue(0)
+			if !ok || e.Rank < prevRank {
+				return false
+			}
+			if last, seen := prevIDByRank[e.Rank]; seen && e.ID < last {
+				return false // FIFO violated among equal ranks
+			}
+			prevIDByRank[e.Rank] = e.ID
+			prevRank = e.Rank
+		}
+		_, ok := l.Dequeue(0)
+		return !ok && l.Len() == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: an element is never dequeued before its send_time, and
+// always dequeued once time passes it.
+func TestEligibilityProperty(t *testing.T) {
+	f := func(sends []uint8) bool {
+		if len(sends) == 0 {
+			return true
+		}
+		if len(sends) > 256 {
+			sends = sends[:256]
+		}
+		l := core.New(len(sends))
+		for i, s := range sends {
+			if err := l.Enqueue(core.Entry{ID: uint32(i), Rank: uint64(i), SendTime: clock.Time(s)}); err != nil {
+				return false
+			}
+		}
+		for now := clock.Time(0); now <= 255; now++ {
+			for {
+				e, ok := l.Dequeue(now)
+				if !ok {
+					break
+				}
+				if e.SendTime > now {
+					return false // dequeued early
+				}
+			}
+		}
+		return l.Len() == 0 // everything eligible by 255 must be gone
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,54 @@
+package core
+
+import (
+	"strings"
+	"testing"
+
+	"pieo/internal/clock"
+)
+
+func TestDumpSublists(t *testing.T) {
+	l := New(16)
+	mustEnqueue(t, l, 1, 10, 5)
+	mustEnqueue(t, l, 2, 20, clock.Never)
+	views := l.DumpSublists()
+	if len(views) != 1 {
+		t.Fatalf("views = %d, want 1", len(views))
+	}
+	v := views[0]
+	if v.Num != 2 || v.SmallestRank != 10 || v.SmallestSendTime != 5 {
+		t.Fatalf("view = %+v", v)
+	}
+	if len(v.Entries) != 2 || v.Entries[0].ID != 1 || v.Entries[1].ID != 2 {
+		t.Fatalf("entries = %v", v.Entries)
+	}
+	if len(v.EligTimes) != 2 || v.EligTimes[0] != 5 || v.EligTimes[1] != clock.Never {
+		t.Fatalf("elig = %v", v.EligTimes)
+	}
+	if v.Full {
+		t.Fatal("2/4 sublist reported full")
+	}
+	s := v.String()
+	for _, want := range []string{"pos 0", "num=2", "[1, 10, 5]", "[2, 20, never]"} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("String() = %q missing %q", s, want)
+		}
+	}
+}
+
+func TestDumpCoversAllElements(t *testing.T) {
+	l := New(64)
+	for i := uint32(0); i < 50; i++ {
+		mustEnqueue(t, l, i, uint64(i*7%32), clock.Always)
+	}
+	total := 0
+	for _, v := range l.DumpSublists() {
+		total += len(v.Entries)
+		if v.Num != len(v.Entries) {
+			t.Fatalf("view num mismatch: %+v", v)
+		}
+	}
+	if total != 50 {
+		t.Fatalf("dump covers %d elements, want 50", total)
+	}
+}

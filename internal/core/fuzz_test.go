@@ -1,0 +1,106 @@
+package core_test
+
+import (
+	"testing"
+
+	"pieo/internal/clock"
+	"pieo/internal/core"
+	"pieo/internal/refmodel"
+)
+
+// FuzzListOps interprets the fuzzer's byte stream as a program of list
+// operations and checks the sublist implementation against the flat
+// reference model plus the full invariant suite after every step. Run
+// with `go test -fuzz=FuzzListOps ./internal/core` for open-ended
+// fuzzing; under plain `go test` the seed corpus below runs as a
+// regression test.
+func FuzzListOps(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8, 9})
+	f.Add([]byte{0, 0, 0, 0, 0, 0, 0, 0})
+	f.Add([]byte{1, 1, 1, 1})
+	f.Add([]byte{0, 10, 1, 0, 0, 20, 1, 0, 2, 10, 3, 5})
+	f.Add([]byte{255, 254, 253, 252, 251, 250, 0, 1, 2, 3})
+
+	f.Fuzz(func(t *testing.T, program []byte) {
+		const capacity = 24
+		impl := core.New(capacity)
+		ref := refmodel.New(capacity)
+		nextID := uint32(0)
+
+		// Each step consumes up to 3 bytes: opcode, then operands.
+		for i := 0; i < len(program); {
+			op := program[i]
+			i++
+			arg := func() byte {
+				if i < len(program) {
+					b := program[i]
+					i++
+					return b
+				}
+				return 0
+			}
+			switch op % 5 {
+			case 0: // enqueue(rank, send)
+				e := core.Entry{ID: nextID, Rank: uint64(arg() % 16), SendTime: clock.Time(arg() % 8)}
+				nextID++
+				if got, want := impl.Enqueue(e), ref.Enqueue(e); got != want {
+					t.Fatalf("Enqueue(%v) = %v, ref %v", e, got, want)
+				}
+			case 1: // dequeue(now)
+				now := clock.Time(arg() % 8)
+				got, gok := impl.Dequeue(now)
+				want, wok := ref.Dequeue(now)
+				if gok != wok || got != want {
+					t.Fatalf("Dequeue(%v) = %v,%v, ref %v,%v", now, got, gok, want, wok)
+				}
+			case 2: // dequeue(flow)
+				var id uint32
+				if nextID > 0 {
+					id = uint32(arg()) % nextID
+				}
+				got, gok := impl.DequeueFlow(id)
+				want, wok := ref.DequeueFlow(id)
+				if gok != wok || got != want {
+					t.Fatalf("DequeueFlow(%d) = %v,%v, ref %v,%v", id, got, gok, want, wok)
+				}
+			case 3: // dequeue range
+				now := clock.Time(arg() % 8)
+				lo := uint32(arg() % 16)
+				got, gok := impl.DequeueRange(now, lo, lo+8)
+				want, wok := ref.DequeueRange(now, lo, lo+8)
+				if gok != wok || got != want {
+					t.Fatalf("DequeueRange(%v,%d) = %v,%v, ref %v,%v", now, lo, got, gok, want, wok)
+				}
+			case 4: // rank-range dequeue vs brute force over the snapshot
+				lo := uint64(arg() % 16)
+				var want *core.Entry
+				for _, e := range impl.Snapshot() {
+					if e.Rank >= lo && e.Rank <= lo+4 {
+						e := e
+						want = &e
+						break
+					}
+				}
+				got, gok := impl.DequeueRankRange(lo, lo+4)
+				if want == nil {
+					if gok {
+						t.Fatalf("DequeueRankRange(%d) = %v, want none", lo, got)
+					}
+				} else {
+					if !gok || got != *want {
+						t.Fatalf("DequeueRankRange(%d) = %v,%v, want %v", lo, got, gok, *want)
+					}
+					if _, wok := ref.DequeueFlow(got.ID); !wok {
+						t.Fatalf("reference lost flow %d", got.ID)
+					}
+				}
+			}
+			if impl.Len() != ref.Len() {
+				t.Fatalf("Len = %d, ref %d", impl.Len(), ref.Len())
+			}
+			if err := impl.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	})
+}

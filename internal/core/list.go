@@ -1,0 +1,703 @@
+// Package core implements the PIEO (Push-In-Extract-Out) ordered list —
+// the paper's primary contribution (§3.1) — using a functional model of
+// the exact hardware design of §5:
+//
+//   - The list is stored as an array of sublists of size S = ⌈√N⌉. Each
+//     sublist keeps its elements ordered twice: by rank (Rank-Sublist)
+//     and by send_time (Eligibility-Sublist).
+//   - A pointer array (Ordered-Sublist-Array) orders the sublists by
+//     their smallest rank and caches each sublist's smallest rank,
+//     smallest send_time, and occupancy. Its left partition points to
+//     non-empty sublists, its right partition to empty ones.
+//   - Invariant 1: no two consecutive partially-full sublists, so N
+//     elements never need more than ~2√N sublists (2× SRAM overhead) and
+//     every operation touches at most two sublists.
+//
+// All three primitive operations — Enqueue (Push-In), Dequeue
+// (Extract-Out of the smallest-ranked eligible element), and DequeueFlow
+// (extract a specific element) — complete in a constant four hardware
+// clock cycles; the model counts cycles, sublist reads/writes (SRAM port
+// usage), and comparator activations in Stats so the evaluation harness
+// can reason about hardware cost without re-deriving it.
+//
+// Eligibility predicates follow §5.2: each element carries a send_time
+// and is eligible when curr_time >= send_time, where curr_time is any
+// monotonic function of time supplied by the caller at dequeue.
+// clock.Always (0) encodes predicate-true, clock.Never encodes
+// predicate-false. Ties in rank dequeue in enqueue (FIFO) order (§3.1).
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"pieo/internal/clock"
+)
+
+// Entry is one element of the ordered list: a flow (or packet) identifier
+// with its programmable rank and eligibility time. The paper's prototype
+// uses 16-bit rank and send_time fields; this model widens them to 64
+// bits so virtual-time algorithms never wrap, and leaves bit-width
+// costing to internal/hwmodel.
+type Entry struct {
+	ID       uint32
+	Rank     uint64
+	SendTime clock.Time
+}
+
+// Eligible reports whether the entry's predicate holds at time now.
+func (e Entry) Eligible(now clock.Time) bool { return now >= e.SendTime }
+
+// String renders the entry like the paper's figures: [id, rank, send].
+func (e Entry) String() string {
+	return fmt.Sprintf("[%d, %d, %s]", e.ID, e.Rank, e.SendTime)
+}
+
+// Operation errors.
+var (
+	// ErrFull is returned by Enqueue when the list is at capacity.
+	ErrFull = errors.New("pieo: list full")
+	// ErrDuplicate is returned by Enqueue when the ID is already queued;
+	// a flow appears at most once in the scheduler's ordered list (§3.2).
+	ErrDuplicate = errors.New("pieo: id already enqueued")
+)
+
+// Stats counts the work performed by the list, in hardware terms.
+// Cycles follows the §5.2 datapath: four cycles per primitive operation.
+// Range dequeues (the hierarchical logical-PIEO path, §4.3) may scan
+// several sublists whose metadata passes the time filter but whose
+// elements all fall outside the requested index range; each extra scanned
+// sublist costs one additional cycle and one additional read, which the
+// model charges explicitly.
+type Stats struct {
+	Enqueues      uint64
+	Dequeues      uint64 // successful Dequeue()
+	EmptyDequeues uint64 // Dequeue() that found no eligible element
+	FlowDequeues  uint64 // successful DequeueFlow()
+	RangeDequeues uint64 // successful DequeueRange()
+
+	Cycles        uint64
+	SublistReads  uint64 // sublists fetched from SRAM
+	SublistWrites uint64 // sublists written back to SRAM
+	PtrCompares   uint64 // pointer-array comparator activations
+	ElemCompares  uint64 // sublist comparator activations
+}
+
+// element is an Entry plus its enqueue sequence number, which breaks rank
+// ties in FIFO order exactly as the hardware's insert-after-equals
+// placement does.
+type element struct {
+	Entry
+	seq uint64
+}
+
+// key comparison: rank first, then FIFO sequence.
+func (a element) less(b element) bool {
+	if a.Rank != b.Rank {
+		return a.Rank < b.Rank
+	}
+	return a.seq < b.seq
+}
+
+// sublist is one SRAM-resident sublist: entries ordered by (rank, seq)
+// and a parallel multiset of send_times ordered ascending (the
+// Eligibility-Sublist).
+type sublist struct {
+	entries []element
+	elig    []clock.Time
+}
+
+func (s *sublist) len() int           { return len(s.entries) }
+func (s *sublist) full(cap_ int) bool { return len(s.entries) == cap_ }
+
+// ptr is one Ordered-Sublist-Array entry (§5.2).
+type ptr struct {
+	sublistID        int
+	smallestRank     uint64
+	smallestSendTime clock.Time
+	num              int
+}
+
+// List is a PIEO ordered list. Create one with New or NewWithSublistSize.
+type List struct {
+	capacity    int
+	sublistSize int
+
+	sublists []sublist // backing storage, indexed by sublist id
+	order    []ptr     // Ordered-Sublist-Array; [0:active) non-empty, rest empty
+	active   int
+	posOf    []int // sublist id -> position in order
+
+	size  int
+	seq   uint64
+	where map[uint32]int // flow id -> sublist id (per-flow state, §5.2 Dequeue(f))
+
+	stats Stats
+}
+
+// New creates a PIEO list with capacity n using the paper's geometry:
+// sublists of size ⌈√n⌉.
+func New(n int) *List {
+	if n <= 0 {
+		panic(fmt.Sprintf("pieo: capacity must be positive, got %d", n))
+	}
+	return NewWithSublistSize(n, int(math.Ceil(math.Sqrt(float64(n)))))
+}
+
+// NewWithSublistSize creates a PIEO list with an explicit sublist size,
+// used by the sublist-geometry ablation. The number of sublists is
+// 2·⌈n/s⌉ + 2: the paper's 2× Invariant-1 overhead plus two slack
+// sublists so the worst-case full/partial alternation can never exhaust
+// the empty partition at the capacity boundary.
+func NewWithSublistSize(n, s int) *List {
+	if n <= 0 || s <= 0 {
+		panic(fmt.Sprintf("pieo: invalid geometry n=%d s=%d", n, s))
+	}
+	num := 2*((n+s-1)/s) + 2
+	l := &List{
+		capacity:    n,
+		sublistSize: s,
+		sublists:    make([]sublist, num),
+		order:       make([]ptr, num),
+		posOf:       make([]int, num),
+		where:       make(map[uint32]int, n),
+	}
+	for i := range l.sublists {
+		l.sublists[i] = sublist{
+			entries: make([]element, 0, s+1),
+			elig:    make([]clock.Time, 0, s+1),
+		}
+		l.order[i] = ptr{sublistID: i, smallestSendTime: clock.Never}
+		l.posOf[i] = i
+	}
+	return l
+}
+
+// Len returns the number of queued elements.
+func (l *List) Len() int { return l.size }
+
+// Capacity returns the maximum number of elements.
+func (l *List) Capacity() int { return l.capacity }
+
+// SublistSize returns the configured sublist size S.
+func (l *List) SublistSize() int { return l.sublistSize }
+
+// NumSublists returns the number of physical sublists allocated.
+func (l *List) NumSublists() int { return len(l.sublists) }
+
+// Stats returns a copy of the accumulated operation counters.
+func (l *List) Stats() Stats { return l.stats }
+
+// Contains reports whether id is currently queued.
+func (l *List) Contains(id uint32) bool {
+	_, ok := l.where[id]
+	return ok
+}
+
+// Enqueue inserts e at the position dictated by its rank ("Push-In",
+// §3.1). Equal-rank elements are placed after existing ones so they
+// dequeue in FIFO order. It returns ErrFull at capacity and ErrDuplicate
+// if e.ID is already queued.
+func (l *List) Enqueue(e Entry) error {
+	if l.size == l.capacity {
+		return ErrFull
+	}
+	if _, dup := l.where[e.ID]; dup {
+		return ErrDuplicate
+	}
+	l.seq++
+	elem := element{Entry: e, seq: l.seq}
+
+	l.stats.Enqueues++
+	l.stats.Cycles += 4
+
+	if l.active == 0 {
+		// Empty list: the first empty sublist becomes the head.
+		sl := &l.sublists[l.order[0].sublistID]
+		l.insertElem(sl, elem)
+		l.active = 1
+		l.refreshMeta(0)
+		l.where[e.ID] = l.order[0].sublistID
+		l.size++
+		l.stats.SublistReads++
+		l.stats.SublistWrites++
+		return nil
+	}
+
+	// Cycle 1: parallel compare (order[i].smallestRank > e.Rank) over the
+	// pointer array; priority-encode to the first strictly-greater
+	// sublist j, and select j-1 (clamped to the head).
+	l.stats.PtrCompares += uint64(l.active)
+	pos := l.active - 1
+	for i := 0; i < l.active; i++ {
+		if l.rankGreater(l.order[i], elem) {
+			pos = i - 1
+			break
+		}
+	}
+	if pos < 0 {
+		pos = 0
+	}
+
+	// Cycle 2: read S (and S' if S is full) from SRAM.
+	sl := &l.sublists[l.order[pos].sublistID]
+	l.stats.SublistReads++
+	wasFull := sl.full(l.sublistSize)
+
+	// Cycle 3: position via parallel compare + priority encode; cycle 4:
+	// write back.
+	l.stats.ElemCompares += uint64(sl.len())
+	l.insertElem(sl, elem)
+	l.where[e.ID] = l.order[pos].sublistID
+	l.size++
+
+	if wasFull {
+		// The insert pushed the sublist to S+1; move its tail into S'.
+		tail := sl.entries[sl.len()-1]
+		l.removeAt(sl, sl.len()-1)
+
+		spPos := -1
+		if pos+1 < l.active && !l.sublists[l.order[pos+1].sublistID].full(l.sublistSize) {
+			spPos = pos + 1
+		} else {
+			// Take a fresh empty sublist and rotate it to pos+1
+			// (paper: "shifting S' to the right of S").
+			spPos = l.claimEmptyAt(pos + 1)
+		}
+		sp := &l.sublists[l.order[spPos].sublistID]
+		l.stats.SublistReads++
+		l.stats.ElemCompares += uint64(sp.len())
+		l.insertElem(sp, tail) // lands at sp's head: tail.key < all of sp
+		l.where[tail.ID] = l.order[spPos].sublistID
+		l.refreshMeta(spPos)
+		l.stats.SublistWrites++
+	}
+	l.refreshMeta(pos)
+	l.stats.SublistWrites++
+	return nil
+}
+
+// rankGreater reports whether the sublist behind p orders strictly after
+// elem — the hardware's (smallest_rank > f.rank) compare, extended with
+// the FIFO tie-break (a cached smallest key always has an older sequence
+// than a new element, so equality on rank means "not greater").
+func (l *List) rankGreater(p ptr, elem element) bool {
+	return p.smallestRank > elem.Rank
+}
+
+// Dequeue extracts the smallest-ranked eligible element at time now
+// ("Extract-Out", §3.1). It returns ok=false when no element is eligible.
+func (l *List) Dequeue(now clock.Time) (Entry, bool) {
+	// Cycle 1: priority-encode the first sublist whose smallest
+	// send_time passes (now >= smallest_send_time). Because sublists
+	// partition the global rank order, the first sublist with any
+	// eligible element holds the globally smallest-ranked eligible one.
+	l.stats.PtrCompares += uint64(l.active)
+	pos := -1
+	for i := 0; i < l.active; i++ {
+		if now >= l.order[i].smallestSendTime {
+			pos = i
+			break
+		}
+	}
+	if pos == -1 {
+		l.stats.EmptyDequeues++
+		l.stats.Cycles++ // the failed select still burns the compare cycle
+		return Entry{}, false
+	}
+	l.stats.Dequeues++
+	l.stats.Cycles += 4
+
+	sl := &l.sublists[l.order[pos].sublistID]
+	l.stats.SublistReads++
+
+	// Cycle 3: first index with send_time <= now is the smallest-ranked
+	// eligible element of the sublist (entries are rank-ordered).
+	l.stats.ElemCompares += uint64(sl.len())
+	idx := -1
+	for i, e := range sl.entries {
+		if e.SendTime <= now {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		// Metadata said an eligible element exists; its absence is a
+		// datapath bug, not a runtime condition.
+		panic(fmt.Sprintf("pieo: sublist %d metadata/content mismatch at t=%v", l.order[pos].sublistID, now))
+	}
+	out := sl.entries[idx].Entry
+	l.extractAt(pos, sl, idx)
+	return out, true
+}
+
+// Peek returns the element Dequeue would extract at time now, without
+// removing it.
+func (l *List) Peek(now clock.Time) (Entry, bool) {
+	for i := 0; i < l.active; i++ {
+		if now < l.order[i].smallestSendTime {
+			continue
+		}
+		sl := &l.sublists[l.order[i].sublistID]
+		for _, e := range sl.entries {
+			if e.SendTime <= now {
+				return e.Entry, true
+			}
+		}
+		panic(fmt.Sprintf("pieo: sublist %d metadata/content mismatch at t=%v", l.order[i].sublistID, now))
+	}
+	return Entry{}, false
+}
+
+// DequeueFlow extracts the element with the given id regardless of
+// eligibility (§3.1 dequeue(f)), used by alarm handlers to update an
+// element's attributes. It returns ok=false when id is not queued.
+func (l *List) DequeueFlow(id uint32) (Entry, bool) {
+	sid, ok := l.where[id]
+	if !ok {
+		return Entry{}, false
+	}
+	l.stats.FlowDequeues++
+	l.stats.Cycles += 4
+
+	pos := l.posOf[sid]
+	sl := &l.sublists[sid]
+	l.stats.SublistReads++
+	l.stats.ElemCompares += uint64(sl.len())
+	idx := -1
+	for i, e := range sl.entries {
+		if e.ID == id {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		panic(fmt.Sprintf("pieo: flow map points id %d at sublist %d but it is not there", id, sid))
+	}
+	out := sl.entries[idx].Entry
+	l.extractAt(pos, sl, idx)
+	return out, true
+}
+
+// DequeueRange extracts the smallest-ranked element that is eligible at
+// now and whose ID lies in [lo, hi] — the logical-PIEO extraction of
+// hierarchical scheduling (§4.3), where each non-leaf node's predicate is
+// extended with (start <= f.index <= end). Sublists whose time filter
+// passes but which hold no in-range eligible element cost one extra cycle
+// and read each, which Stats records.
+func (l *List) DequeueRange(now clock.Time, lo, hi uint32) (Entry, bool) {
+	l.stats.PtrCompares += uint64(l.active)
+	for pos := 0; pos < l.active; pos++ {
+		if now < l.order[pos].smallestSendTime {
+			continue
+		}
+		sl := &l.sublists[l.order[pos].sublistID]
+		l.stats.SublistReads++
+		l.stats.ElemCompares += uint64(sl.len())
+		for idx, e := range sl.entries {
+			if e.SendTime <= now && e.ID >= lo && e.ID <= hi {
+				l.stats.RangeDequeues++
+				l.stats.Cycles += 4
+				out := e.Entry
+				l.extractAt(pos, sl, idx)
+				return out, true
+			}
+		}
+		l.stats.Cycles++ // in-range miss: scan continues to the next sublist
+	}
+	l.stats.EmptyDequeues++
+	l.stats.Cycles++
+	return Entry{}, false
+}
+
+// PeekRange returns the element DequeueRange would extract, without
+// removing it.
+func (l *List) PeekRange(now clock.Time, lo, hi uint32) (Entry, bool) {
+	for pos := 0; pos < l.active; pos++ {
+		if now < l.order[pos].smallestSendTime {
+			continue
+		}
+		sl := &l.sublists[l.order[pos].sublistID]
+		for _, e := range sl.entries {
+			if e.SendTime <= now && e.ID >= lo && e.ID <= hi {
+				return e.Entry, true
+			}
+		}
+	}
+	return Entry{}, false
+}
+
+// MinSendTime returns the smallest send_time across all queued elements —
+// in O(1) from the pointer-array metadata. Fair-queueing algorithms use
+// it as the "minimum start time among backlogged flows" term of the
+// WF²Q+ virtual-time update. ok is false when the list is empty.
+func (l *List) MinSendTime() (clock.Time, bool) {
+	if l.active == 0 {
+		return 0, false
+	}
+	minT := clock.Never
+	for i := 0; i < l.active; i++ {
+		if l.order[i].smallestSendTime < minT {
+			minT = l.order[i].smallestSendTime
+		}
+	}
+	return minT, true
+}
+
+// extractAt removes entry idx from the sublist at order position pos and
+// restores Invariant 1 (§5.2 dequeue cycles 2–4): a previously-full
+// sublist is refilled from a partially-full neighbor, and emptied
+// sublists move to the empty partition.
+func (l *List) extractAt(pos int, sl *sublist, idx int) {
+	wasFull := sl.full(l.sublistSize)
+	id := sl.entries[idx].ID
+	l.removeAt(sl, idx)
+	delete(l.where, id)
+	l.size--
+	l.stats.SublistWrites++
+
+	if wasFull && sl.len() > 0 {
+		// Refill from a non-full neighbor so S stays full; prefer the
+		// left neighbor (its tail becomes S's head), else the right
+		// (its head becomes S's tail). Reading the donor uses the SRAM
+		// port pair of cycle 2.
+		if pos > 0 {
+			left := &l.sublists[l.order[pos-1].sublistID]
+			if !left.full(l.sublistSize) {
+				l.stats.SublistReads++
+				l.stats.ElemCompares += uint64(left.len())
+				moved := left.entries[left.len()-1]
+				l.removeAt(left, left.len()-1)
+				l.insertElem(sl, moved)
+				l.where[moved.ID] = l.order[pos].sublistID
+				l.stats.SublistWrites++
+				if left.len() == 0 {
+					l.retire(pos - 1)
+					pos-- // order shifted left past the retired slot
+				} else {
+					l.refreshMeta(pos - 1)
+				}
+				l.refreshMeta(pos)
+				return
+			}
+		}
+		if pos+1 < l.active {
+			right := &l.sublists[l.order[pos+1].sublistID]
+			if !right.full(l.sublistSize) {
+				l.stats.SublistReads++
+				l.stats.ElemCompares += uint64(right.len())
+				moved := right.entries[0]
+				l.removeAt(right, 0)
+				l.insertElem(sl, moved)
+				l.where[moved.ID] = l.order[pos].sublistID
+				l.stats.SublistWrites++
+				if right.len() == 0 {
+					l.retire(pos + 1)
+				} else {
+					l.refreshMeta(pos + 1)
+				}
+				l.refreshMeta(pos)
+				return
+			}
+		}
+	}
+
+	if sl.len() == 0 {
+		l.retire(pos)
+		return
+	}
+	l.refreshMeta(pos)
+}
+
+// insertElem places elem at its (rank, seq) position in the rank-ordered
+// entries and its send_time in the eligibility multiset.
+func (l *List) insertElem(sl *sublist, elem element) {
+	idx := len(sl.entries)
+	for i, e := range sl.entries {
+		if elem.less(e) {
+			idx = i
+			break
+		}
+	}
+	sl.entries = append(sl.entries, element{})
+	copy(sl.entries[idx+1:], sl.entries[idx:])
+	sl.entries[idx] = elem
+
+	eidx := len(sl.elig)
+	for i, t := range sl.elig {
+		if elem.SendTime < t {
+			eidx = i
+			break
+		}
+	}
+	sl.elig = append(sl.elig, 0)
+	copy(sl.elig[eidx+1:], sl.elig[eidx:])
+	sl.elig[eidx] = elem.SendTime
+}
+
+// removeAt deletes entry idx from the rank order and its send_time from
+// the eligibility multiset.
+func (l *List) removeAt(sl *sublist, idx int) {
+	st := sl.entries[idx].SendTime
+	copy(sl.entries[idx:], sl.entries[idx+1:])
+	sl.entries = sl.entries[:len(sl.entries)-1]
+
+	for i, t := range sl.elig {
+		if t == st {
+			copy(sl.elig[i:], sl.elig[i+1:])
+			sl.elig = sl.elig[:len(sl.elig)-1]
+			return
+		}
+	}
+	panic(fmt.Sprintf("pieo: eligibility sublist lost send_time %v", st))
+}
+
+// refreshMeta recomputes the cached pointer-array attributes of the
+// sublist at order position pos.
+func (l *List) refreshMeta(pos int) {
+	sl := &l.sublists[l.order[pos].sublistID]
+	if sl.len() == 0 {
+		l.order[pos].smallestRank = 0
+		l.order[pos].smallestSendTime = clock.Never
+		l.order[pos].num = 0
+		return
+	}
+	l.order[pos].smallestRank = sl.entries[0].Rank
+	l.order[pos].smallestSendTime = sl.elig[0]
+	l.order[pos].num = sl.len()
+}
+
+// claimEmptyAt rotates the first empty sublist into order position pos
+// (shifting [pos, active) right by one) and grows the active partition.
+// It returns pos.
+func (l *List) claimEmptyAt(pos int) int {
+	if l.active >= len(l.order) {
+		panic("pieo: empty-sublist partition exhausted; Invariant 1 slack miscomputed")
+	}
+	claimed := l.order[l.active]
+	copy(l.order[pos+1:l.active+1], l.order[pos:l.active])
+	l.order[pos] = claimed
+	l.active++
+	for i := pos; i < l.active; i++ {
+		l.posOf[l.order[i].sublistID] = i
+	}
+	return pos
+}
+
+// retire moves the (now empty) sublist at order position pos to the head
+// of the empty partition and shrinks the active partition.
+func (l *List) retire(pos int) {
+	emptied := l.order[pos]
+	copy(l.order[pos:l.active-1], l.order[pos+1:l.active])
+	l.active--
+	l.order[l.active] = emptied
+	l.order[l.active].smallestRank = 0
+	l.order[l.active].smallestSendTime = clock.Never
+	l.order[l.active].num = 0
+	for i := pos; i <= l.active; i++ {
+		l.posOf[l.order[i].sublistID] = i
+	}
+}
+
+// Snapshot returns the Global-Ordered-List: every queued entry in
+// increasing (rank, FIFO) order. It is O(n) and intended for tests,
+// debugging, and experiment reporting.
+func (l *List) Snapshot() []Entry {
+	out := make([]Entry, 0, l.size)
+	for i := 0; i < l.active; i++ {
+		for _, e := range l.sublists[l.order[i].sublistID].entries {
+			out = append(out, e.Entry)
+		}
+	}
+	return out
+}
+
+// CheckInvariants validates the complete §5 data-structure contract:
+// partitioning of the pointer array, Invariant 1, global rank order,
+// metadata coherence, eligibility-sublist coherence, and flow-map
+// consistency. Tests call it after every mutation; it returns the first
+// violation found.
+func (l *List) CheckInvariants() error {
+	if l.active < 0 || l.active > len(l.order) {
+		return fmt.Errorf("active=%d out of range", l.active)
+	}
+	seen := make(map[int]bool, len(l.order))
+	total := 0
+	var prev *element
+	for i, p := range l.order {
+		if seen[p.sublistID] {
+			return fmt.Errorf("sublist %d appears twice in order", p.sublistID)
+		}
+		seen[p.sublistID] = true
+		if l.posOf[p.sublistID] != i {
+			return fmt.Errorf("posOf[%d]=%d, want %d", p.sublistID, l.posOf[p.sublistID], i)
+		}
+		sl := &l.sublists[p.sublistID]
+		if i < l.active {
+			if sl.len() == 0 {
+				return fmt.Errorf("active position %d is empty", i)
+			}
+		} else {
+			if sl.len() != 0 {
+				return fmt.Errorf("empty-partition position %d has %d elements", i, sl.len())
+			}
+			continue
+		}
+		// Invariant 1: no two consecutive partially-full active sublists.
+		if i+1 < l.active {
+			next := &l.sublists[l.order[i+1].sublistID]
+			if !sl.full(l.sublistSize) && !next.full(l.sublistSize) {
+				return fmt.Errorf("Invariant 1 violated at positions %d,%d (len %d,%d, S=%d)",
+					i, i+1, sl.len(), next.len(), l.sublistSize)
+			}
+		}
+		// Metadata coherence.
+		if p.num != sl.len() {
+			return fmt.Errorf("position %d num=%d, want %d", i, p.num, sl.len())
+		}
+		if p.smallestRank != sl.entries[0].Rank {
+			return fmt.Errorf("position %d smallestRank=%d, want %d", i, p.smallestRank, sl.entries[0].Rank)
+		}
+		if len(sl.elig) != sl.len() {
+			return fmt.Errorf("position %d eligibility size %d, want %d", i, len(sl.elig), sl.len())
+		}
+		if p.smallestSendTime != sl.elig[0] {
+			return fmt.Errorf("position %d smallestSendTime=%v, want %v", i, p.smallestSendTime, sl.elig[0])
+		}
+		// Eligibility multiset matches entry send_times.
+		times := make(map[clock.Time]int)
+		for _, e := range sl.entries {
+			times[e.SendTime]++
+		}
+		for j, t := range sl.elig {
+			if j > 0 && sl.elig[j-1] > t {
+				return fmt.Errorf("position %d eligibility sublist unsorted at %d", i, j)
+			}
+			times[t]--
+			if times[t] < 0 {
+				return fmt.Errorf("position %d eligibility sublist has extra %v", i, t)
+			}
+		}
+		// Global (rank, seq) order across the sublist concatenation, and
+		// rank order within the sublist.
+		for j := range sl.entries {
+			e := &sl.entries[j]
+			if prev != nil && e.less(*prev) {
+				return fmt.Errorf("global order violated: %v before %v", prev.Entry, e.Entry)
+			}
+			prev = e
+			if sid, ok := l.where[e.ID]; !ok || sid != p.sublistID {
+				return fmt.Errorf("flow map for id %d = (%d,%v), want sublist %d", e.ID, sid, ok, p.sublistID)
+			}
+			total++
+		}
+	}
+	if total != l.size {
+		return fmt.Errorf("size=%d but %d elements stored", l.size, total)
+	}
+	if len(l.where) != l.size {
+		return fmt.Errorf("flow map has %d entries, size=%d", len(l.where), l.size)
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package dict
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestInsertSearchDelete(t *testing.T) {
+	d := New[string](16)
+	if !d.Insert(42, "answer") {
+		t.Fatal("Insert failed")
+	}
+	if d.Insert(42, "dup") {
+		t.Fatal("duplicate Insert succeeded")
+	}
+	v, ok := d.Search(42)
+	if !ok || v != "answer" {
+		t.Fatalf("Search = %q,%v", v, ok)
+	}
+	if _, ok := d.Search(7); ok {
+		t.Fatal("Search found a missing key")
+	}
+	v, ok = d.Delete(42)
+	if !ok || v != "answer" {
+		t.Fatalf("Delete = %q,%v", v, ok)
+	}
+	if _, ok := d.Delete(42); ok {
+		t.Fatal("double Delete succeeded")
+	}
+	if d.Len() != 0 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestUpdate(t *testing.T) {
+	d := New[int](8)
+	d.Insert(1, 100)
+	if !d.Update(1, 200) {
+		t.Fatal("Update failed")
+	}
+	if d.Update(2, 1) {
+		t.Fatal("Update invented a key")
+	}
+	if v, _ := d.Search(1); v != 200 {
+		t.Fatalf("Search after Update = %d", v)
+	}
+}
+
+func TestMinAndCeiling(t *testing.T) {
+	d := New[string](16)
+	d.Insert(30, "c")
+	d.Insert(10, "a")
+	d.Insert(20, "b")
+	k, v, ok := d.Min()
+	if !ok || k != 10 || v != "a" {
+		t.Fatalf("Min = %d,%q,%v", k, v, ok)
+	}
+	k, v, ok = d.Ceiling(15)
+	if !ok || k != 20 || v != "b" {
+		t.Fatalf("Ceiling(15) = %d,%q,%v", k, v, ok)
+	}
+	if _, _, ok := d.Ceiling(31); ok {
+		t.Fatal("Ceiling(31) found something")
+	}
+}
+
+func TestRangeScan(t *testing.T) {
+	d := New[int](32)
+	for k := uint64(0); k < 20; k++ {
+		d.Insert(k*5, int(k))
+	}
+	var keys []uint64
+	d.Range(23, 61, func(k uint64, v int) bool {
+		keys = append(keys, k)
+		return true
+	})
+	want := []uint64{25, 30, 35, 40, 45, 50, 55, 60}
+	if len(keys) != len(want) {
+		t.Fatalf("Range keys = %v, want %v", keys, want)
+	}
+	for i := range want {
+		if keys[i] != want[i] {
+			t.Fatalf("Range keys = %v, want %v", keys, want)
+		}
+	}
+	// Early stop.
+	n := 0
+	d.Range(0, 100, func(uint64, int) bool { n++; return n < 3 })
+	if n != 3 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestPopRange(t *testing.T) {
+	d := New[string](16)
+	d.Insert(10, "a")
+	d.Insert(20, "b")
+	d.Insert(30, "c")
+	k, v, ok := d.PopRange(15, 35)
+	if !ok || k != 20 || v != "b" {
+		t.Fatalf("PopRange = %d,%q,%v", k, v, ok)
+	}
+	if _, ok := d.Search(20); ok {
+		t.Fatal("popped key still present")
+	}
+	if _, _, ok := d.PopRange(21, 29); ok {
+		t.Fatal("empty range popped something")
+	}
+	if d.Len() != 2 {
+		t.Fatalf("Len = %d", d.Len())
+	}
+}
+
+func TestKeysSorted(t *testing.T) {
+	d := New[int](128)
+	rng := rand.New(rand.NewSource(3))
+	inserted := map[uint64]bool{}
+	for len(inserted) < 100 {
+		k := uint64(rng.Intn(1 << 20))
+		if d.Insert(k, 0) {
+			inserted[k] = true
+		}
+	}
+	keys := d.Keys()
+	if len(keys) != 100 {
+		t.Fatalf("Keys len = %d", len(keys))
+	}
+	if !sort.SliceIsSorted(keys, func(i, j int) bool { return keys[i] < keys[j] }) {
+		t.Fatal("Keys not sorted")
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	d := New[int](2)
+	if !d.Insert(1, 1) || !d.Insert(2, 2) {
+		t.Fatal("inserts failed")
+	}
+	if d.Insert(3, 3) {
+		t.Fatal("Insert past capacity succeeded")
+	}
+	d.Delete(1)
+	if !d.Insert(3, 3) {
+		t.Fatal("Insert after Delete failed")
+	}
+}
+
+// Property: the dictionary behaves exactly like a Go map + sort under a
+// random op sequence.
+func TestDictMatchesMapProperty(t *testing.T) {
+	f := func(ops []struct {
+		Op  uint8
+		Key uint8
+		Val uint16
+	}) bool {
+		d := New[uint16](64)
+		model := map[uint64]uint16{}
+		for _, op := range ops {
+			k := uint64(op.Key % 32)
+			switch op.Op % 4 {
+			case 0:
+				gotOK := d.Insert(k, op.Val)
+				_, exists := model[k]
+				wantOK := !exists && len(model) < 64
+				if gotOK != wantOK {
+					return false
+				}
+				if gotOK {
+					model[k] = op.Val
+				}
+			case 1:
+				v, ok := d.Search(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+			case 2:
+				v, ok := d.Delete(k)
+				mv, mok := model[k]
+				if ok != mok || (ok && v != mv) {
+					return false
+				}
+				delete(model, k)
+			case 3:
+				ok := d.Update(k, op.Val)
+				_, mok := model[k]
+				if ok != mok {
+					return false
+				}
+				if ok {
+					model[k] = op.Val
+				}
+			}
+			if d.Len() != len(model) {
+				return false
+			}
+		}
+		// Final key sets agree.
+		keys := d.Keys()
+		if len(keys) != len(model) {
+			return false
+		}
+		for _, k := range keys {
+			if _, ok := model[k]; !ok {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

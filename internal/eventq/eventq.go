@@ -1,0 +1,97 @@
+// Package eventq implements the discrete-event queue that drives the
+// network simulator. It is a plain binary min-heap ordered by event time,
+// with FIFO tie-breaking among events scheduled for the same instant so
+// that simulation runs are fully deterministic.
+package eventq
+
+import "pieo/internal/clock"
+
+// Event is a callback scheduled to run at a simulated instant.
+type Event struct {
+	At clock.Time
+	// Run executes the event. It receives the event's own timestamp so
+	// handlers do not need to capture it.
+	Run func(now clock.Time)
+
+	seq uint64 // insertion order, breaks ties deterministically
+}
+
+// Queue is a min-heap of events. The zero value is an empty queue ready
+// to use.
+type Queue struct {
+	heap []Event
+	seq  uint64
+}
+
+// Len returns the number of pending events.
+func (q *Queue) Len() int { return len(q.heap) }
+
+// Push schedules fn to run at t.
+func (q *Queue) Push(t clock.Time, fn func(now clock.Time)) {
+	q.seq++
+	q.heap = append(q.heap, Event{At: t, Run: fn, seq: q.seq})
+	q.up(len(q.heap) - 1)
+}
+
+// PeekTime returns the timestamp of the earliest pending event. The second
+// result is false when the queue is empty.
+func (q *Queue) PeekTime() (clock.Time, bool) {
+	if len(q.heap) == 0 {
+		return 0, false
+	}
+	return q.heap[0].At, true
+}
+
+// Pop removes and returns the earliest pending event. The second result is
+// false when the queue is empty.
+func (q *Queue) Pop() (Event, bool) {
+	if len(q.heap) == 0 {
+		return Event{}, false
+	}
+	top := q.heap[0]
+	last := len(q.heap) - 1
+	q.heap[0] = q.heap[last]
+	q.heap = q.heap[:last]
+	if last > 0 {
+		q.down(0)
+	}
+	return top, true
+}
+
+func (q *Queue) less(i, j int) bool {
+	a, b := q.heap[i], q.heap[j]
+	if a.At != b.At {
+		return a.At < b.At
+	}
+	return a.seq < b.seq
+}
+
+func (q *Queue) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !q.less(i, parent) {
+			return
+		}
+		q.heap[i], q.heap[parent] = q.heap[parent], q.heap[i]
+		i = parent
+	}
+}
+
+func (q *Queue) down(i int) {
+	n := len(q.heap)
+	for {
+		left := 2*i + 1
+		if left >= n {
+			return
+		}
+		smallest := left
+		if right := left + 1; right < n && q.less(right, left) {
+			smallest = right
+		}
+		if !q.less(smallest, i) {
+			return
+		}
+		q.heap[i], q.heap[smallest] = q.heap[smallest], q.heap[i]
+		i = smallest
+	}
+}

@@ -1,0 +1,146 @@
+package eventq
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"pieo/internal/clock"
+)
+
+func TestEmptyQueue(t *testing.T) {
+	var q Queue
+	if q.Len() != 0 {
+		t.Fatalf("Len() = %d, want 0", q.Len())
+	}
+	if _, ok := q.PeekTime(); ok {
+		t.Fatalf("PeekTime on empty queue reported ok")
+	}
+	if _, ok := q.Pop(); ok {
+		t.Fatalf("Pop on empty queue reported ok")
+	}
+}
+
+func TestPopOrder(t *testing.T) {
+	var q Queue
+	times := []clock.Time{50, 10, 30, 10, 99, 0, 30}
+	for _, at := range times {
+		q.Push(at, nil)
+	}
+	want := append([]clock.Time(nil), times...)
+	sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+	for i, w := range want {
+		ev, ok := q.Pop()
+		if !ok {
+			t.Fatalf("Pop #%d: queue empty early", i)
+		}
+		if ev.At != w {
+			t.Fatalf("Pop #%d: At = %v, want %v", i, ev.At, w)
+		}
+	}
+	if q.Len() != 0 {
+		t.Fatalf("queue not drained, Len() = %d", q.Len())
+	}
+}
+
+func TestFIFOTieBreak(t *testing.T) {
+	var q Queue
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		q.Push(42, func(clock.Time) { order = append(order, i) })
+	}
+	for {
+		ev, ok := q.Pop()
+		if !ok {
+			break
+		}
+		ev.Run(ev.At)
+	}
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("same-time events ran out of order: %v", order)
+		}
+	}
+}
+
+func TestPeekMatchesPop(t *testing.T) {
+	var q Queue
+	q.Push(7, nil)
+	q.Push(3, nil)
+	at, ok := q.PeekTime()
+	if !ok || at != 3 {
+		t.Fatalf("PeekTime = %v,%v want 3,true", at, ok)
+	}
+	ev, _ := q.Pop()
+	if ev.At != 3 {
+		t.Fatalf("Pop.At = %v, want 3", ev.At)
+	}
+}
+
+func TestInterleavedPushPop(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var q Queue
+	var drained []clock.Time
+	pending := 0
+	var floor clock.Time // simulation time never goes backwards
+	for i := 0; i < 5000; i++ {
+		if pending == 0 || rng.Intn(2) == 0 {
+			q.Push(floor+clock.Time(rng.Intn(1000)), nil)
+			pending++
+		} else {
+			ev, ok := q.Pop()
+			if !ok {
+				t.Fatalf("Pop failed with %d pending", pending)
+			}
+			if ev.At < floor {
+				t.Fatalf("event time %v went backwards past %v", ev.At, floor)
+			}
+			floor = ev.At
+			drained = append(drained, ev.At)
+			pending--
+		}
+	}
+	for i := 1; i < len(drained); i++ {
+		if drained[i] < drained[i-1] {
+			t.Fatalf("drained times not monotone at %d: %v < %v", i, drained[i], drained[i-1])
+		}
+	}
+}
+
+// Property: popping everything returns a sorted permutation of what was
+// pushed.
+func TestHeapSortProperty(t *testing.T) {
+	f := func(times []uint32) bool {
+		var q Queue
+		for _, at := range times {
+			q.Push(clock.Time(at), nil)
+		}
+		got := make([]clock.Time, 0, len(times))
+		for {
+			ev, ok := q.Pop()
+			if !ok {
+				break
+			}
+			got = append(got, ev.At)
+		}
+		if len(got) != len(times) {
+			return false
+		}
+		want := make([]clock.Time, len(times))
+		for i, at := range times {
+			want[i] = clock.Time(at)
+		}
+		sort.Slice(want, func(i, j int) bool { return want[i] < want[j] })
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,72 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestApproxPIEOExact(t *testing.T) {
+	tab := Approx()
+	if tab.Rows[0][2] != "0" {
+		t.Fatalf("PIEO reference deviation = %s", tab.Rows[0][2])
+	}
+}
+
+func TestApproxBandsMonotone(t *testing.T) {
+	tab := Approx()
+	var prev float64 = 1 << 30
+	seen := 0
+	for _, row := range tab.Rows {
+		if row[0] != "multi-priority FIFO" {
+			continue
+		}
+		dev := parseLeadingFloat(t, row[2])
+		if dev >= prev {
+			t.Fatalf("band deviation not shrinking: %v then %v", prev, dev)
+		}
+		if dev == 0 {
+			t.Fatalf("an approximate structure reported zero deviation: %v", row)
+		}
+		prev = dev
+		seen++
+	}
+	if seen != 5 {
+		t.Fatalf("saw %d band rows", seen)
+	}
+}
+
+func TestApproxCalendarCollisionCliff(t *testing.T) {
+	tab := Approx()
+	var small, large float64
+	for _, row := range tab.Rows {
+		if row[0] != "calendar queue" {
+			continue
+		}
+		if strings.Contains(row[1], "x 16") {
+			small = parseLeadingFloat(t, row[2])
+		}
+		if strings.Contains(row[1], "x 2048") {
+			large = parseLeadingFloat(t, row[2])
+		}
+	}
+	if small < 10*large {
+		t.Fatalf("collision cliff missing: width16 dev %v vs width2048 dev %v", small, large)
+	}
+}
+
+func TestApproxWheelErrorTracksSlot(t *testing.T) {
+	tab := Approx()
+	for _, row := range tab.Rows {
+		if row[0] != "timing wheel" {
+			continue
+		}
+		slot := parseLeadingFloat(t, strings.TrimPrefix(row[1], "slot "))
+		maxErr := parseLeadingFloat(t, row[2])
+		if maxErr >= slot {
+			t.Fatalf("wheel error %v >= slot %v", maxErr, slot)
+		}
+		if maxErr < slot/2 {
+			t.Fatalf("wheel error %v suspiciously small for slot %v", maxErr, slot)
+		}
+	}
+}

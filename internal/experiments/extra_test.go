@@ -1,0 +1,85 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestPipelineRates(t *testing.T) {
+	tab := Pipeline()
+	rates := map[string]float64{}
+	for _, row := range tab.Rows {
+		rates[row[0]+"/"+row[1]] = parseLeadingFloat(t, row[2])
+	}
+	if got := rates["non-pipelined/any"]; math.Abs(got-0.25) > 0.001 {
+		t.Fatalf("non-pipelined = %v, want 0.25", got)
+	}
+	if got := rates["port-aware partial pipeline/independent sublists"]; math.Abs(got-0.5) > 0.01 {
+		t.Fatalf("port-aware independent = %v, want 0.5", got)
+	}
+	if got := rates["port-aware partial pipeline/same sublist (worst case)"]; math.Abs(got-0.25) > 0.001 {
+		t.Fatalf("port-aware same-sublist = %v, want 0.25", got)
+	}
+	if got := rates["fully pipelined/any"]; got < 0.99 {
+		t.Fatalf("fully pipelined = %v, want ~1.0", got)
+	}
+	// Random streams on the real 30K geometry land very close to the
+	// independent bound: collisions across 346 sublists are rare.
+	if got := rates["port-aware partial pipeline/random sublists (30K geometry)"]; got < 0.45 {
+		t.Fatalf("port-aware random = %v, want ~0.5", got)
+	}
+}
+
+func TestTriggerModelAdaptation(t *testing.T) {
+	if testing.Short() {
+		t.Skip("10 ms simulations")
+	}
+	tab := TriggerModels()
+	var out, in []string
+	for _, row := range tab.Rows {
+		switch row[0] {
+		case "output-triggered":
+			out = row
+		case "input-triggered":
+			in = row
+		}
+	}
+	if out == nil || in == nil {
+		t.Fatalf("rows missing: %+v", tab.Rows)
+	}
+	if got := parseLeadingFloat(t, out[2]); math.Abs(got-16) > 1 {
+		t.Fatalf("output-triggered after-change rate = %v, want ~16", got)
+	}
+	if got := parseLeadingFloat(t, in[2]); math.Abs(got-2) > 0.5 {
+		t.Fatalf("input-triggered after-change rate = %v, want ~2 (stale plan)", got)
+	}
+	// Both enforce the original limit before the change.
+	for _, row := range [][]string{out, in} {
+		if got := parseLeadingFloat(t, row[1]); math.Abs(got-2) > 0.1 {
+			t.Fatalf("%s before-change rate = %v, want 2", row[0], got)
+		}
+	}
+}
+
+func TestDevicesOrdering(t *testing.T) {
+	tab := Devices()
+	if len(tab.Rows) != 3 {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	var prevPieo float64
+	for _, row := range tab.Rows {
+		pifoMax := parseLeadingFloat(t, row[1])
+		pieoMax := parseLeadingFloat(t, row[2])
+		if pieoMax <= pifoMax {
+			t.Fatalf("%s: PIEO max %v <= PIFO max %v", row[0], pieoMax, pifoMax)
+		}
+		if pieoMax < prevPieo {
+			t.Fatalf("PIEO max not nondecreasing across devices")
+		}
+		prevPieo = pieoMax
+		if !strings.Contains(row[4], "MHz") {
+			t.Fatalf("clock cell malformed: %q", row[4])
+		}
+	}
+}

@@ -1,0 +1,26 @@
+package experiments
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestHier3NestedEnforcement(t *testing.T) {
+	if testing.Short() {
+		t.Skip("20 ms simulation")
+	}
+	tab := Hier3()
+	for _, row := range tab.Rows {
+		limit := parseLeadingFloat(t, row[1])
+		got := parseLeadingFloat(t, row[2])
+		if math.Abs(got-limit)/limit > 0.03 {
+			t.Fatalf("%s: measured %v vs limit %v (>3%%)", row[0], got, limit)
+		}
+		if strings.Contains(row[0], "/vm") {
+			if jain := parseLeadingFloat(t, row[3]); jain < 0.999 {
+				t.Fatalf("%s: intra-VM Jain = %v", row[0], jain)
+			}
+		}
+	}
+}

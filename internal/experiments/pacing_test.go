@@ -1,0 +1,28 @@
+package experiments
+
+import "testing"
+
+func TestPacingHardwareExact(t *testing.T) {
+	tab := Pacing()
+	hw := tab.Rows[0]
+	for col := 1; col <= 3; col++ {
+		if v := parseLeadingFloat(t, hw[col]); v != 0 {
+			t.Fatalf("hardware pacer error column %d = %v, want 0", col, v)
+		}
+	}
+}
+
+func TestPacingSoftwareJitterVisible(t *testing.T) {
+	tab := Pacing()
+	for _, row := range tab.Rows[1:] {
+		if mean := parseLeadingFloat(t, row[1]); mean < 100 {
+			t.Fatalf("%s mean error %v ns implausibly small", row[0], mean)
+		}
+	}
+	// Coarser ticks hurt more.
+	fine := parseLeadingFloat(t, tab.Rows[1][1])
+	coarse := parseLeadingFloat(t, tab.Rows[2][1])
+	if coarse <= fine {
+		t.Fatalf("10us tick mean %v <= 1us tick mean %v", coarse, fine)
+	}
+}

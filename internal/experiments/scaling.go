@@ -1,0 +1,184 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"pieo/internal/clock"
+	"pieo/internal/core"
+	"pieo/internal/hwmodel"
+)
+
+// sweepSizes are the scheduler sizes of the Fig 8-10 x-axis: 1K up to the
+// paper's 30K operating point, plus 32K to show headroom.
+var sweepSizes = []int{1 << 10, 1 << 11, 1 << 12, 1 << 13, 1 << 14, 30000, 1 << 15}
+
+func sizeLabel(n int) string {
+	if n%1024 == 0 {
+		return fmt.Sprintf("%dK", n/1024)
+	}
+	return fmt.Sprintf("%d", n)
+}
+
+// Fig8 reproduces the logic-consumption scaling study: percent of the
+// Stratix V's 234K ALMs consumed by PIEO vs PIFO as the scheduler grows.
+func Fig8() *Table {
+	dev := hwmodel.StratixV
+	var rows [][]string
+	for _, n := range sweepSizes {
+		pieo := hwmodel.PIEOResources(hwmodel.PIEOGeometry(n))
+		pifo := hwmodel.PIFOResources(n)
+		pifoCell := fmt.Sprintf("%.1f%%", pifo.ALMPercent(dev))
+		if !pifo.FitsOn(dev) {
+			pifoCell += " (does not fit)"
+		}
+		rows = append(rows, []string{
+			sizeLabel(n),
+			fmt.Sprintf("%.1f%%", pieo.ALMPercent(dev)),
+			pifoCell,
+			fmt.Sprintf("%d", pieo.Comparators16),
+			fmt.Sprintf("%d", pifo.Comparators16),
+		})
+	}
+	return &Table{
+		ID:      "fig8",
+		Title:   "Percent of logic modules (ALMs) consumed, out of 234K (Fig 8)",
+		Columns: []string{"size", "PIEO ALMs", "PIFO ALMs", "PIEO comparators", "PIFO comparators"},
+		Rows:    rows,
+		Notes: []string{
+			"PIFO calibrated to the paper's measured 64% at 1K; it cannot fit 2K or more",
+			"PIEO grows as sqrt(N) and fits 30K+ elements easily",
+		},
+	}
+}
+
+// Fig9 reproduces the SRAM-consumption study: percent of the device's
+// 6.5 MB consumed by the PIEO ordered list (PIFO stores nothing in SRAM).
+func Fig9() *Table {
+	dev := hwmodel.StratixV
+	var rows [][]string
+	for _, n := range sweepSizes {
+		g := hwmodel.PIEOGeometry(n)
+		r := hwmodel.PIEOResources(g)
+		rows = append(rows, []string{
+			sizeLabel(n),
+			fmt.Sprintf("%.2f%%", r.SRAMPercent(dev)),
+			fmt.Sprintf("%.2f Mbit", float64(r.SRAMBits)/1e6),
+			fmt.Sprintf("%d", r.SRAMBlocks),
+			fmt.Sprintf("%dx%d", g.NumSublists, g.SublistSize),
+		})
+	}
+	return &Table{
+		ID:      "fig9",
+		Title:   "Percent of SRAM consumed, out of 6.5 MB (Fig 9)",
+		Columns: []string{"size", "SRAM used", "SRAM bits", "M20K blocks", "geometry"},
+		Rows:    rows,
+		Notes: []string{
+			"the 2x overhead of Invariant 1 is included; total stays modest even at 30K",
+		},
+	}
+}
+
+// Fig10 reproduces the clock-rate study: synthesized clock rate of the
+// scheduler circuit vs size, for PIEO and the PIFO baseline.
+func Fig10() *Table {
+	var rows [][]string
+	for _, n := range sweepSizes {
+		g := hwmodel.PIEOGeometry(n)
+		pieoF := hwmodel.PIEOClockMHz(g)
+		pifoCell := fmt.Sprintf("%.0f MHz", hwmodel.PIFOClockMHz(n))
+		if !hwmodel.PIFOResources(n).FitsOn(hwmodel.StratixV) {
+			pifoCell += " (does not fit)"
+		}
+		rows = append(rows, []string{
+			sizeLabel(n),
+			fmt.Sprintf("%.0f MHz", pieoF),
+			pifoCell,
+			fmt.Sprintf("%.0f ns", hwmodel.NsPerOp(pieoF, hwmodel.CyclesPerOp)),
+		})
+	}
+	return &Table{
+		ID:      "fig10",
+		Title:   "Clock rates achieved by the scheduler circuit (Fig 10)",
+		Columns: []string{"size", "PIEO clock", "PIFO clock", "PIEO ns/op (4 cycles)"},
+		Rows:    rows,
+		Notes: []string{
+			"calibrated to the paper's synthesis points: PIFO 57 MHz @ 1K, PIEO ~80 MHz @ 30K",
+			"at 80 MHz one primitive op takes 50 ns < the 120 ns MTU budget at 100 Gbps",
+		},
+	}
+}
+
+// SchedulingRate reproduces the §6.2 scheduling-rate discussion: modeled
+// hardware ns/op at each size (plus the 1 GHz ASIC point) alongside the
+// measured software ns/op of this functional model, for context.
+func SchedulingRate() *Table {
+	var rows [][]string
+	for _, n := range []int{1 << 10, 1 << 13, 30000} {
+		g := hwmodel.PIEOGeometry(n)
+		f := hwmodel.PIEOClockMHz(g)
+		goNs := measureGoNsPerOp(n, 200_000)
+		rows = append(rows, []string{
+			sizeLabel(n),
+			fmt.Sprintf("%.0f MHz", f),
+			fmt.Sprintf("%.1f ns", hwmodel.NsPerOp(f, hwmodel.CyclesPerOp)),
+			fmt.Sprintf("%.1f ns", hwmodel.NsPerOp(hwmodel.ASICClockMHz, hwmodel.CyclesPerOp)),
+			fmt.Sprintf("%.0f ns", goNs),
+		})
+	}
+	return &Table{
+		ID:      "rate",
+		Title:   "Scheduling decision rate (§6.2)",
+		Columns: []string{"size", "FPGA clock", "FPGA ns/op", "ASIC ns/op", "Go model ns/op (measured)"},
+		Rows:    rows,
+		Notes: []string{
+			"hardware numbers follow the 4-cycle datapath; the Go column measures this repo's functional model",
+			"MTU at 100 Gbps requires one decision every 120 ns",
+		},
+	}
+}
+
+// measureGoNsPerOp times enqueue+dequeue pairs on a warm list of size n.
+func measureGoNsPerOp(n, ops int) float64 {
+	l := core.New(n)
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < n/2; i++ {
+		if err := l.Enqueue(core.Entry{ID: uint32(i), Rank: uint64(rng.Intn(1 << 16)), SendTime: clock.Always}); err != nil {
+			panic(err)
+		}
+	}
+	nextID := uint32(n)
+	start := time.Now()
+	for i := 0; i < ops; i++ {
+		if i%2 == 0 {
+			nextID++
+			_ = l.Enqueue(core.Entry{ID: nextID, Rank: uint64(rng.Intn(1 << 16)), SendTime: clock.Always})
+		} else {
+			l.Dequeue(0)
+		}
+	}
+	return float64(time.Since(start).Nanoseconds()) / float64(ops)
+}
+
+// Scalability reproduces the headline claim: the largest scheduler each
+// design fits on the paper's device, and the resulting ratio ("over 30x
+// more scalable").
+func Scalability() *Table {
+	dev := hwmodel.StratixV
+	pifoMax := hwmodel.MaxPIFOFit(dev)
+	pieoMax := hwmodel.MaxPIEOFit(dev)
+	return &Table{
+		ID:      "scale",
+		Title:   "Maximum scheduler size fitting the Stratix V (headline)",
+		Columns: []string{"design", "max elements", "binding constraint"},
+		Rows: [][]string{
+			{"PIFO", fmt.Sprintf("%d", pifoMax), "ALMs (linear logic growth)"},
+			{"PIEO", fmt.Sprintf("%d", pieoMax), "SRAM (list storage, 2x overhead)"},
+			{"ratio", fmt.Sprintf("%.0fx", float64(pieoMax)/float64(pifoMax)), "paper claims >30x; demonstrated 30K vs 1K"},
+		},
+		Notes: []string{
+			"the paper demonstrates 30K vs 1K on its FPGA (30x); the model extrapolates to the SRAM limit",
+		},
+	}
+}

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func sampleTable() *Table {
+	return &Table{
+		ID:      "sample",
+		Title:   "Sample",
+		Columns: []string{"a", "b"},
+		Rows: [][]string{
+			{"1", "x,y"},
+			{"2", `quote "inside"`},
+		},
+		Notes: []string{"a note"},
+	}
+}
+
+func TestFprintAligned(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().Fprint(&buf)
+	out := buf.String()
+	for _, want := range []string{"== sample: Sample ==", "a  b", "# a note"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFprintCSVEscaping(t *testing.T) {
+	var buf bytes.Buffer
+	sampleTable().FprintCSV(&buf)
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if lines[0] != "a,b" {
+		t.Fatalf("header = %q", lines[0])
+	}
+	if lines[1] != `1,"x,y"` {
+		t.Fatalf("comma row = %q", lines[1])
+	}
+	if lines[2] != `2,"quote ""inside"""` {
+		t.Fatalf("quote row = %q", lines[2])
+	}
+}

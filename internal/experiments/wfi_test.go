@@ -1,0 +1,21 @@
+package experiments
+
+import "testing"
+
+func TestWFIWF2QLeadBounded(t *testing.T) {
+	tab := WFI()
+	wfqLead := parseLeadingFloat(t, tab.Rows[0][2])
+	wf2qLead := parseLeadingFloat(t, tab.Rows[1][2])
+	// The WF2Q worst-case fairness theorem: lead bounded by one packet.
+	if wf2qLead > 1.0+1e-9 {
+		t.Fatalf("WF2Q+ lead = %v pkts, theorem bounds it at 1", wf2qLead)
+	}
+	if wfqLead <= wf2qLead {
+		t.Fatalf("WFQ lead %v <= WF2Q+ lead %v; the separation is the point", wfqLead, wf2qLead)
+	}
+	wfqBurst := parseLeadingFloat(t, tab.Rows[0][1])
+	wf2qBurst := parseLeadingFloat(t, tab.Rows[1][1])
+	if wfqBurst <= wf2qBurst {
+		t.Fatalf("WFQ burst %v <= WF2Q+ burst %v", wfqBurst, wf2qBurst)
+	}
+}

@@ -1,0 +1,394 @@
+// Package hier implements hierarchical packet scheduling with PIEO
+// (§4.3). Flows are grouped into a tree: leaf children are flows with
+// FIFO packet queues; every non-leaf node schedules its children with its
+// own policy. All children at the same tree depth share one physical PIEO
+// list, logically partitioned per parent: each parent owns a contiguous
+// child-index range [lo, hi], and extracting a parent's logical PIEO is a
+// DequeueRange whose predicate is the paper's
+// (eligible) && (p.start <= f.index <= p.end).
+//
+// Dequeue starts at the root whenever the link goes idle and propagates
+// down: the winner at each level names the logical PIEO to extract from
+// at the next level (the hardware pushes the winner's id into an
+// inter-level FIFO; this synchronous model simply descends). After the
+// leaf transmits, post-dequeue runs bottom-up and each ancestor is
+// re-enqueued while its subtree stays backlogged.
+package hier
+
+import (
+	"fmt"
+
+	"pieo/internal/clock"
+	"pieo/internal/core"
+	"pieo/internal/flowq"
+)
+
+// Child is a schedulable element inside some parent's logical PIEO:
+// either a leaf flow (Queue != nil) or an interior node (Node != nil).
+// The control-plane configuration and algorithm scratch fields mirror
+// sched.Flow.
+type Child struct {
+	ID   uint32 // index within the depth's physical PIEO (assigned by Build)
+	Flow flowq.FlowID
+	Node *Node // non-nil for interior children
+
+	Queue *flowq.Queue // non-nil for leaf children
+
+	// Scheduling attributes assigned by the parent policy's PreEnqueue.
+	Rank     uint64
+	SendTime clock.Time
+
+	// Control-plane configuration.
+	Weight   uint64
+	Quantum  uint64 // expected packet size for interior shaping, bytes
+	Priority uint64
+	RateGbps float64
+	Burst    float64
+
+	// Algorithm scratch.
+	Tokens        float64
+	LastRefill    clock.Time
+	VirtualFinish uint64
+	virtualStart  uint64 // start assigned by the last fair-queueing PreEnqueue
+
+	// requeued marks a child being put back after service or a deferred
+	// descent, as opposed to activating after idleness. Fair-queueing
+	// policies apply Fig 2(a)'s max(finish, V) only to activations.
+	requeued bool
+}
+
+// IsLeaf reports whether the child is a flow.
+func (c *Child) IsLeaf() bool { return c.Queue != nil }
+
+// Node is a non-leaf vertex of the scheduling tree. Its Policy schedules
+// its children; V is its private fair-queueing virtual clock.
+type Node struct {
+	Name   string
+	Policy *Policy
+	V      clock.Virtual
+
+	h          *Hierarchy
+	depth      int // root = 0
+	parent     *Node
+	self       *Child // this node's entity in the parent's logical PIEO (nil at root)
+	children   []*Child
+	lo, hi     uint32 // child-index range in levels[depth], set by Build
+	active     int    // children currently enqueued in levels[depth]
+	cachedSumW uint64 // lazily cached total child weight
+}
+
+// Self returns this node's own child entity — the handle the control
+// plane uses to configure how the node's parent schedules it (rate limit,
+// weight, priority). It is nil for the root.
+func (n *Node) Self() *Child { return n.self }
+
+// AddNode creates an interior child scheduled by this node, with the
+// given policy for its own children. Must be called before Build.
+func (n *Node) AddNode(name string, policy *Policy) *Node {
+	n.h.mustNotBeBuilt()
+	if policy == nil {
+		panic("hier: node policy must not be nil")
+	}
+	child := &Child{Weight: 1, Quantum: 1500}
+	node := &Node{Name: name, Policy: policy, h: n.h, depth: n.depth + 1, parent: n, self: child}
+	child.Node = node
+	n.children = append(n.children, child)
+	return node
+}
+
+// AddFlow creates a leaf flow child scheduled by this node. Must be
+// called before Build.
+func (n *Node) AddFlow(id flowq.FlowID) *Child {
+	n.h.mustNotBeBuilt()
+	if _, dup := n.h.leaves[id]; dup {
+		panic(fmt.Sprintf("hier: flow %d added twice", id))
+	}
+	child := &Child{Flow: id, Queue: &flowq.Queue{}, Weight: 1, Quantum: 1500}
+	n.children = append(n.children, child)
+	n.h.leaves[id] = child
+	n.h.parentOf[id] = n
+	return child
+}
+
+// Hierarchy is an n-level PIEO scheduler tree. It implements
+// netsim.Scheduler and netsim.WakeHinter.
+type Hierarchy struct {
+	LinkRateGbps float64
+
+	root     *Node
+	levels   []*core.List // levels[d] holds the children of depth-d nodes
+	wall     []bool       // levels[d] predicates live in the wall-clock domain
+	leaves   map[flowq.FlowID]*Child
+	parentOf map[flowq.FlowID]*Node
+	byID     []map[uint32]*Child // per depth: child-index -> Child
+	built    bool
+}
+
+// New creates an empty hierarchy whose root schedules its children with
+// the given policy.
+func New(linkRateGbps float64, rootPolicy *Policy) *Hierarchy {
+	if linkRateGbps <= 0 {
+		panic(fmt.Sprintf("hier: link rate must be positive, got %v", linkRateGbps))
+	}
+	if rootPolicy == nil {
+		panic("hier: root policy must not be nil")
+	}
+	h := &Hierarchy{
+		LinkRateGbps: linkRateGbps,
+		leaves:       make(map[flowq.FlowID]*Child),
+		parentOf:     make(map[flowq.FlowID]*Node),
+	}
+	h.root = &Node{Name: "root", Policy: rootPolicy, h: h}
+	return h
+}
+
+// Root returns the root node.
+func (h *Hierarchy) Root() *Node { return h.root }
+
+func (h *Hierarchy) mustNotBeBuilt() {
+	if h.built {
+		panic("hier: topology is frozen after Build")
+	}
+}
+
+// Build freezes the topology: it assigns contiguous child-index ranges
+// per parent at every depth (the paper's logical partitioning) and
+// allocates one physical PIEO per level. It must be called exactly once
+// before traffic.
+func (h *Hierarchy) Build() {
+	h.mustNotBeBuilt()
+	h.built = true
+
+	// Breadth-first: assign ids depth by depth so siblings are
+	// contiguous and each parent gets [lo, hi].
+	level := []*Node{h.root}
+	for len(level) > 0 {
+		var next []*Node
+		nextID := uint32(0)
+		index := make(map[uint32]*Child)
+		wall := true
+		for _, n := range level {
+			if len(n.children) == 0 {
+				panic(fmt.Sprintf("hier: node %q has no children", n.Name))
+			}
+			n.lo = nextID
+			for _, c := range n.children {
+				c.ID = nextID
+				index[c.ID] = c
+				nextID++
+				if c.Node != nil {
+					next = append(next, c.Node)
+				}
+			}
+			n.hi = nextID - 1
+			if n.Policy.DequeueTime != nil {
+				wall = false
+			}
+		}
+		h.levels = append(h.levels, core.New(int(nextID)))
+		h.wall = append(h.wall, wall)
+		h.byID = append(h.byID, index)
+		level = next
+	}
+}
+
+// WireTime returns the wire time of size bytes on the hierarchy's link.
+func (h *Hierarchy) WireTime(size uint32) clock.Time {
+	ns := float64(size) * 8 / h.LinkRateGbps
+	if ns < 1 {
+		ns = 1
+	}
+	return clock.Time(ns)
+}
+
+// Leaf returns the child entity for flow id, for control-plane
+// configuration.
+func (h *Hierarchy) Leaf(id flowq.FlowID) *Child {
+	c := h.leaves[id]
+	if c == nil {
+		panic(fmt.Sprintf("hier: unknown flow %d", id))
+	}
+	return c
+}
+
+// Levels returns the number of scheduling levels (physical PIEOs).
+func (h *Hierarchy) Levels() int { return len(h.levels) }
+
+// Level exposes the physical PIEO at depth d, for tests and resource
+// accounting.
+func (h *Hierarchy) Level(d int) *core.List { return h.levels[d] }
+
+// OnArrival implements netsim.Scheduler.
+func (h *Hierarchy) OnArrival(now clock.Time, p flowq.Packet) {
+	if !h.built {
+		panic("hier: OnArrival before Build")
+	}
+	c := h.leaves[p.Flow]
+	if c == nil {
+		panic(fmt.Sprintf("hier: packet for unknown flow %d", p.Flow))
+	}
+	wasEmpty := c.Queue.Empty()
+	c.Queue.Push(p)
+	if wasEmpty {
+		h.enqueueChild(now, h.parentOf[p.Flow], c)
+	}
+}
+
+// enqueueChild inserts c into n's logical PIEO (unless it is already
+// there or has nothing to send) and propagates "logical queue went
+// non-empty" up the tree (§4.3 enqueue path).
+func (h *Hierarchy) enqueueChild(now clock.Time, n *Node, c *Child) {
+	list := h.levels[n.depth]
+	if list.Contains(c.ID) {
+		return
+	}
+	if c.IsLeaf() {
+		if c.Queue.Empty() {
+			return
+		}
+	} else if c.Node.active == 0 {
+		return
+	}
+	n.Policy.preEnqueue(n, now, c)
+	if err := list.Enqueue(core.Entry{ID: c.ID, Rank: c.Rank, SendTime: c.SendTime}); err != nil {
+		panic(fmt.Sprintf("hier: enqueue child %d at depth %d: %v", c.ID, n.depth, err))
+	}
+	n.active++
+	if n.parent != nil {
+		h.enqueueChild(now, n.parent, n.self)
+	}
+}
+
+// pathStep records one hop of a successful root-to-leaf descent.
+type pathStep struct {
+	n *Node
+	c *Child
+}
+
+// NextPacket implements netsim.Scheduler: descend from the root PIEO,
+// extracting each winner's logical PIEO at the next level, transmit the
+// leaf's head packet, then run post-dequeue bottom-up and re-enqueue
+// still-backlogged ancestors.
+func (h *Hierarchy) NextPacket(now clock.Time) (flowq.Packet, bool) {
+	if !h.built {
+		panic("hier: NextPacket before Build")
+	}
+	// descend appends steps deepest-first: path[0] is the leaf hop,
+	// path[len-1] the root hop.
+	var path []pathStep
+	if !h.descend(h.root, now, &path) {
+		return flowq.Packet{}, false
+	}
+	leaf := path[0].c
+	p, ok := leaf.Queue.Pop()
+	if !ok {
+		panic(fmt.Sprintf("hier: leaf flow %d scheduled with empty queue", leaf.Flow))
+	}
+	// Post-dequeue bottom-up for the whole path FIRST, so every
+	// ancestor's state (tokens, virtual clocks) is charged before any
+	// re-enqueue computes a fresh rank/send time — re-enqueueing the
+	// leaf would otherwise propagate upward past uncharged ancestors.
+	for _, step := range path {
+		step.n.Policy.postDequeue(step.n, now, step.c, p.Size)
+	}
+	// Then re-enqueue bottom-up while each (logical) queue stays
+	// non-empty; upward propagation inside enqueueChild is idempotent.
+	// Mark the whole path as requeues FIRST: the leaf's re-enqueue
+	// propagates upward and must not mistake a continuously backlogged
+	// ancestor for a fresh activation.
+	for _, step := range path {
+		step.c.requeued = true
+	}
+	for _, step := range path {
+		h.enqueueChild(now, step.n, step.c)
+	}
+	for _, step := range path {
+		step.c.requeued = false
+	}
+	return p, true
+}
+
+// descend extracts the smallest-ranked eligible child of n; for interior
+// winners it recurses into their logical PIEOs. A winner whose subtree
+// yields nothing eligible (a shaped child whose descendants are all
+// deferred) is set aside and retried last, so one blocked branch cannot
+// mask its siblings.
+func (h *Hierarchy) descend(n *Node, now clock.Time, path *[]pathStep) bool {
+	t := now
+	if n.Policy.DequeueTime != nil {
+		t = n.Policy.DequeueTime(n, now)
+	}
+	list := h.levels[n.depth]
+	var skipped []*Child
+	defer func() {
+		// Put deferred children back; their policies' PreEnqueue hooks
+		// are idempotent by contract. These are continuations, not
+		// activations.
+		for _, c := range skipped {
+			c.requeued = true
+			n.Policy.preEnqueue(n, now, c)
+			c.requeued = false
+			if err := list.Enqueue(core.Entry{ID: c.ID, Rank: c.Rank, SendTime: c.SendTime}); err != nil {
+				panic(fmt.Sprintf("hier: re-enqueue deferred child %d: %v", c.ID, err))
+			}
+			n.active++
+		}
+	}()
+	retriedIdle := false
+	for {
+		e, ok := list.DequeueRange(t, n.lo, n.hi)
+		if !ok {
+			if !retriedIdle && n.active > 0 && n.Policy.OnIdle != nil && n.Policy.OnIdle(n, now) {
+				retriedIdle = true
+				if n.Policy.DequeueTime != nil {
+					t = n.Policy.DequeueTime(n, now)
+				}
+				continue
+			}
+			return false
+		}
+		n.active--
+		c := h.byID[n.depth][e.ID]
+		if c == nil {
+			panic(fmt.Sprintf("hier: depth %d returned unknown child %d", n.depth, e.ID))
+		}
+		if c.IsLeaf() {
+			*path = append(*path, pathStep{n, c})
+			return true
+		}
+		if h.descend(c.Node, now, path) {
+			*path = append(*path, pathStep{n, c})
+			return true
+		}
+		skipped = append(skipped, c)
+	}
+}
+
+// NextWake implements netsim.WakeHinter: the earliest *future* send_time
+// across every level whose predicates live in the wall-clock domain.
+// Levels whose minimum is already eligible are skipped — if they could
+// transmit, NextPacket would have found them; the blocker is a shaped
+// ancestor whose send_time lies ahead.
+func (h *Hierarchy) NextWake(now clock.Time) (clock.Time, bool) {
+	best := clock.Never
+	found := false
+	for d, list := range h.levels {
+		if !h.wall[d] {
+			continue
+		}
+		if t, ok := list.MinSendTime(); ok && t > now && t < best {
+			best = t
+			found = true
+		}
+	}
+	return best, found
+}
+
+// Backlog returns the total packets queued across all leaf flows.
+func (h *Hierarchy) Backlog() int {
+	total := 0
+	for _, c := range h.leaves {
+		total += c.Queue.Len()
+	}
+	return total
+}

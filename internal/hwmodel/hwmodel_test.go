@@ -1,0 +1,219 @@
+package hwmodel
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestPIEOGeometrySqrtN(t *testing.T) {
+	g := PIEOGeometry(16)
+	if g.SublistSize != 4 || g.NumSublists != 8 {
+		t.Fatalf("geometry(16) = %+v, want sublists 8x4", g)
+	}
+	g = PIEOGeometry(30000)
+	if g.SublistSize != 174 {
+		t.Fatalf("SublistSize(30000) = %d, want 174", g.SublistSize)
+	}
+	// 2*ceil(30000/174) = 2*173 = 346
+	if g.NumSublists != 346 {
+		t.Fatalf("NumSublists(30000) = %d, want 346", g.NumSublists)
+	}
+}
+
+func TestGeometryCapacityInvariant(t *testing.T) {
+	// The sublist array must hold at least 2x the capacity (Invariant 1
+	// tolerates fragmentation up to half-empty alternation).
+	f := func(n16 uint16) bool {
+		n := int(n16)%100000 + 1
+		g := PIEOGeometry(n)
+		return g.NumSublists*g.SublistSize >= 2*n-2*g.SublistSize
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGeometryPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("PIEOGeometry(0) did not panic")
+		}
+	}()
+	PIEOGeometry(0)
+}
+
+func TestPIFOCalibrationPoint(t *testing.T) {
+	// Paper Fig 8: open-source PIFO at 1K elements consumes 64% of the
+	// 234K ALMs on the Stratix V.
+	r := PIFOResources(1024)
+	pct := r.ALMPercent(StratixV)
+	if math.Abs(pct-64) > 1 {
+		t.Fatalf("PIFO@1K = %.1f%% ALMs, want ~64%%", pct)
+	}
+}
+
+func TestPIFODoesNotFit2K(t *testing.T) {
+	// Paper: "we can't fit a PIFO with 2K elements or more on our FPGA."
+	if PIFOResources(2048).FitsOn(StratixV) {
+		t.Fatal("PIFO@2K fits the Stratix V in the model; paper says it must not")
+	}
+	if !PIFOResources(1024).FitsOn(StratixV) {
+		t.Fatal("PIFO@1K does not fit; paper says it does (at 64%)")
+	}
+}
+
+func TestPIEOFits30K(t *testing.T) {
+	// Paper: "we can easily fit a PIEO scheduler with 30K elements."
+	r := PIEOResources(PIEOGeometry(30000))
+	if !r.FitsOn(StratixV) {
+		t.Fatalf("PIEO@30K does not fit: %d ALMs, %d SRAM bits", r.ALMs, r.SRAMBits)
+	}
+	if pct := r.ALMPercent(StratixV); pct > 50 {
+		t.Fatalf("PIEO@30K consumes %.1f%% ALMs; 'easily fits' implies well under half", pct)
+	}
+}
+
+func TestPIEOLogicSublinear(t *testing.T) {
+	// Quadrupling capacity should roughly double PIEO logic (sqrt
+	// scaling), while PIFO logic quadruples (linear).
+	p1 := PIEOResources(PIEOGeometry(4096)).ALMs
+	p4 := PIEOResources(PIEOGeometry(16384)).ALMs
+	ratio := float64(p4) / float64(p1)
+	if ratio > 2.6 {
+		t.Fatalf("PIEO ALM growth x4 capacity = %.2fx, want ~2x (sqrt)", ratio)
+	}
+	f1 := PIFOResources(4096).ALMs
+	f4 := PIFOResources(16384).ALMs
+	if r := float64(f4) / float64(f1); math.Abs(r-4) > 0.01 {
+		t.Fatalf("PIFO ALM growth x4 capacity = %.2fx, want 4x (linear)", r)
+	}
+}
+
+func TestPIEOSRAMTwiceCapacity(t *testing.T) {
+	// Invariant 1 costs exactly 2x SRAM: slots = NumSublists*SublistSize
+	// ≈ 2N element slots.
+	g := PIEOGeometry(1 << 14)
+	r := PIEOResources(g)
+	wantBits := uint64(2*g.Capacity) * uint64(g.ElementBits())
+	// NumSublists*SublistSize may exceed 2N slightly due to ceil.
+	if r.SRAMBits < wantBits || r.SRAMBits > wantBits+uint64(2*g.SublistSize*g.ElementBits()) {
+		t.Fatalf("SRAMBits = %d, want ~%d (2x capacity)", r.SRAMBits, wantBits)
+	}
+}
+
+func TestPIEOSRAMModestAt30K(t *testing.T) {
+	// Paper Fig 9: total SRAM consumption is "fairly modest" even with
+	// the 2x overhead.
+	r := PIEOResources(PIEOGeometry(30000))
+	if pct := r.SRAMPercent(StratixV); pct > 25 {
+		t.Fatalf("PIEO@30K SRAM = %.1f%%, want modest (<25%%)", pct)
+	}
+}
+
+func TestPIFOUsesNoSRAM(t *testing.T) {
+	r := PIFOResources(1024)
+	if r.SRAMBits != 0 || r.SRAMBlocks != 0 {
+		t.Fatalf("PIFO reports SRAM usage %d bits / %d blocks; design is all flip-flops", r.SRAMBits, r.SRAMBlocks)
+	}
+}
+
+func TestClockCalibrationPoints(t *testing.T) {
+	// Paper §6.2: PIFO clocked at 57 MHz at 1K on this FPGA; PIEO at
+	// ~80 MHz at its 30K operating point.
+	if got := PIFOClockMHz(1024); math.Abs(got-57) > 2 {
+		t.Fatalf("PIFOClockMHz(1K) = %.1f, want ~57", got)
+	}
+	if got := PIEOClockMHz(PIEOGeometry(30000)); math.Abs(got-80) > 3 {
+		t.Fatalf("PIEOClockMHz(30K) = %.1f, want ~80", got)
+	}
+}
+
+func TestClockMonotonicallyDecreasing(t *testing.T) {
+	sizes := []int{1 << 10, 1 << 12, 1 << 14, 1 << 16, 1 << 18}
+	prev := math.Inf(1)
+	for _, n := range sizes {
+		f := PIEOClockMHz(PIEOGeometry(n))
+		if f >= prev {
+			t.Fatalf("PIEO clock not decreasing at n=%d: %.1f >= %.1f", n, f, prev)
+		}
+		prev = f
+	}
+}
+
+func TestNsPerOpHeadlines(t *testing.T) {
+	// 4 cycles at 80 MHz = 50 ns (§6.2), under the 120 ns budget for MTU
+	// at 100 Gbps; 4 cycles at 1 GHz ASIC = 4 ns.
+	if got := NsPerOp(80, CyclesPerOp); math.Abs(got-50) > 1e-9 {
+		t.Fatalf("NsPerOp(80MHz, 4) = %v, want 50", got)
+	}
+	if got := NsPerOp(ASICClockMHz, CyclesPerOp); math.Abs(got-4) > 1e-9 {
+		t.Fatalf("NsPerOp(1GHz, 4) = %v, want 4", got)
+	}
+	if NsPerOp(80, CyclesPerOp) > 120 {
+		t.Fatal("PIEO misses the MTU@100Gbps budget in its own calibration")
+	}
+}
+
+func TestScalabilityHeadline(t *testing.T) {
+	// Paper: PIEO is "over 30x more scalable" than PIFO.
+	pifoMax := MaxPIFOFit(StratixV)
+	pieoMax := MaxPIEOFit(StratixV)
+	if pifoMax < 1024 || pifoMax >= 2048 {
+		t.Fatalf("MaxPIFOFit = %d, want in [1024, 2048)", pifoMax)
+	}
+	if pieoMax < 30000 {
+		t.Fatalf("MaxPIEOFit = %d, want >= 30000", pieoMax)
+	}
+	if ratio := float64(pieoMax) / float64(pifoMax); ratio < 30 {
+		t.Fatalf("scalability ratio = %.1fx, want > 30x", ratio)
+	}
+}
+
+func TestSRAMBlocksStriping(t *testing.T) {
+	// Each sublist must be readable in one cycle, so blocks >= one column
+	// per sublist slot (SublistSize columns).
+	g := PIEOGeometry(30000)
+	r := PIEOResources(g)
+	if r.SRAMBlocks < g.SublistSize {
+		t.Fatalf("SRAMBlocks = %d < SublistSize %d; sublist not fully striped", r.SRAMBlocks, g.SublistSize)
+	}
+	// And the paper's device has ~2500 blocks; 30K must fit.
+	if r.SRAMBlocks > 2500 {
+		t.Fatalf("SRAMBlocks = %d exceeds the device's ~2500", r.SRAMBlocks)
+	}
+}
+
+func TestSchedulingRateMops(t *testing.T) {
+	// 80 MHz / 4 cycles = 20 M decisions/s.
+	if got := SchedulingRateMops(80, 4); math.Abs(got-20) > 1e-9 {
+		t.Fatalf("SchedulingRateMops = %v, want 20", got)
+	}
+}
+
+func TestPointerEntryBits(t *testing.T) {
+	g := PIEOGeometry(16) // 8 sublists of 4
+	// id: log2(8)=3, rank 16, time 16, num: log2(4)+1=3.
+	if got := g.PointerEntryBits(); got != 38 {
+		t.Fatalf("PointerEntryBits = %d, want 38", got)
+	}
+}
+
+func TestElementBits(t *testing.T) {
+	g := PIEOGeometry(16)
+	if got := g.ElementBits(); got != 64 {
+		t.Fatalf("ElementBits = %d, want 64", got)
+	}
+}
+
+// Property: PIEO always uses fewer ALMs than PIFO at equal capacity >= 64
+// (the whole point of the design).
+func TestPIEOBeatsPIFOProperty(t *testing.T) {
+	f := func(n16 uint16) bool {
+		n := int(n16)%65536 + 64
+		return PIEOResources(PIEOGeometry(n)).ALMs < PIFOResources(n).ALMs
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,337 @@
+// Package oracle contains independent, textbook implementations of the
+// §4 scheduling algorithms — plain data structures, no PIEO machinery.
+// They serve as executable specifications: the expressiveness tests
+// drive a PIEO-programmed scheduler and the corresponding oracle through
+// identical workloads and require the *exact same transmission sequence*
+// (same virtual-time algebra, same FIFO tie-breaking), validating the
+// paper's claim that "rank + eligibility predicate" expresses these
+// algorithms rather than merely approximating them.
+package oracle
+
+import (
+	"fmt"
+
+	"pieo/internal/clock"
+	"pieo/internal/flowq"
+)
+
+// Decision is one transmitted packet in an oracle run.
+type Decision struct {
+	Flow flowq.FlowID
+	Size uint32
+}
+
+// Scheduler is a textbook scheduling engine over static backlogged
+// queues.
+type Scheduler interface {
+	// Next returns the next packet to transmit, or ok=false when all
+	// queues are empty.
+	Next() (Decision, bool)
+}
+
+// flowState is the shared per-flow bookkeeping of the oracles.
+type flowState struct {
+	id      flowq.FlowID
+	packets []uint32 // remaining packet sizes, head first
+	seq     uint64   // admission order for FIFO tie-breaking
+
+	weight  uint64
+	quantum uint64
+	deficit uint64
+
+	start  uint64
+	finish uint64
+}
+
+func (f *flowState) head() (uint32, bool) {
+	if len(f.packets) == 0 {
+		return 0, false
+	}
+	return f.packets[0], true
+}
+
+func (f *flowState) pop() uint32 {
+	p := f.packets[0]
+	f.packets = f.packets[1:]
+	return p
+}
+
+// Config describes one flow for an oracle run.
+type Config struct {
+	ID      flowq.FlowID
+	Packets []uint32 // packet sizes in FIFO order
+	Weight  uint64   // fair-queueing weight (default 1)
+	Quantum uint64   // DRR quantum (default 1500)
+}
+
+func buildFlows(cfgs []Config) []*flowState {
+	flows := make([]*flowState, len(cfgs))
+	for i, c := range cfgs {
+		w := c.Weight
+		if w == 0 {
+			w = 1
+		}
+		q := c.Quantum
+		if q == 0 {
+			q = 1500
+		}
+		flows[i] = &flowState{
+			id:      c.ID,
+			packets: append([]uint32(nil), c.Packets...),
+			seq:     uint64(i),
+			weight:  w,
+			quantum: q,
+		}
+	}
+	return flows
+}
+
+// DRR is Shreedhar & Varghese's Deficit Round Robin: an active list
+// visited in FIFO order; each visit adds the quantum and transmits while
+// the deficit covers the head packet.
+type DRR struct {
+	active []*flowState
+	burst  []Decision
+}
+
+// NewDRR builds a DRR oracle over backlogged flows.
+func NewDRR(cfgs []Config) *DRR {
+	d := &DRR{}
+	for _, f := range buildFlows(cfgs) {
+		if len(f.packets) > 0 {
+			d.active = append(d.active, f)
+		}
+	}
+	return d
+}
+
+// Next implements Scheduler.
+func (d *DRR) Next() (Decision, bool) {
+	for {
+		if len(d.burst) > 0 {
+			out := d.burst[0]
+			d.burst = d.burst[1:]
+			return out, true
+		}
+		if len(d.active) == 0 {
+			return Decision{}, false
+		}
+		f := d.active[0]
+		d.active = d.active[1:]
+		f.deficit += f.quantum
+		for {
+			head, ok := f.head()
+			if !ok || uint64(head) > f.deficit {
+				break
+			}
+			f.deficit -= uint64(head)
+			d.burst = append(d.burst, Decision{Flow: f.id, Size: f.pop()})
+		}
+		if len(f.packets) == 0 {
+			f.deficit = 0
+		} else {
+			d.active = append(d.active, f)
+		}
+	}
+}
+
+// fq is the common engine of the WFQ/WF²Q+ oracles: virtual time V, per
+// flow virtual start/finish, selection rule plugged in by kind.
+type fq struct {
+	flows    []*flowState
+	v        uint64
+	sumW     uint64
+	wireNs   func(uint32) uint64
+	eligible bool // WF²Q+: only flows with start <= V compete
+	nextSeq  uint64
+}
+
+func newFQ(cfgs []Config, linkGbps float64, eligible bool) *fq {
+	e := &fq{
+		flows:    buildFlows(cfgs),
+		eligible: eligible,
+		wireNs: func(size uint32) uint64 {
+			ns := float64(size) * 8 / linkGbps
+			if ns < 1 {
+				ns = 1
+			}
+			return uint64(ns)
+		},
+	}
+	for _, f := range e.flows {
+		e.sumW += f.weight
+	}
+	e.nextSeq = uint64(len(e.flows))
+	// Initial (virtual start, finish) for every backlogged flow, exactly
+	// like the framework's enqueue at t=0: the busy period starts, so
+	// the max(finish, V) case applies.
+	for _, f := range e.flows {
+		e.stamp(f, true)
+	}
+	return e
+}
+
+// stamp assigns the flow's head packet its virtual start and finish
+// (Fig 2(a) algebra, same integer scaling as internal/algos). fresh
+// selects the figure's two cases: max(finish, V) when the flow becomes
+// newly backlogged, plain finish chaining while it stays backlogged.
+func (e *fq) stamp(f *flowState, fresh bool) {
+	head, ok := f.head()
+	if !ok {
+		return
+	}
+	start := f.finish
+	if fresh && e.v > start {
+		start = e.v
+	}
+	f.start = start
+	f.finish = start + e.wireNs(head)*e.sumW/f.weight
+}
+
+// Next implements Scheduler for both WFQ and WF²Q+.
+func (e *fq) Next() (Decision, bool) {
+	var best *flowState
+	for _, f := range e.flows {
+		if _, ok := f.head(); !ok {
+			continue
+		}
+		if e.eligible && f.start > e.v {
+			continue
+		}
+		if best == nil || f.finish < best.finish || (f.finish == best.finish && f.seq < best.seq) {
+			best = f
+		}
+	}
+	if best == nil {
+		// WF²Q+: if flows are backlogged but none eligible, jump V to
+		// the minimum start (idle-link rule) and retry once.
+		if e.eligible {
+			minStart, any := uint64(0), false
+			for _, f := range e.flows {
+				if _, ok := f.head(); ok && (!any || f.start < minStart) {
+					minStart = f.start
+					any = true
+				}
+			}
+			if any {
+				e.v = minStart
+				return e.Next()
+			}
+		}
+		return Decision{}, false
+	}
+	size := best.pop()
+	// Tie-break seq: the flow re-enters "the list" after service, like
+	// the framework's re-enqueue.
+	best.seq = e.nextSeq
+	e.nextSeq++
+
+	x := e.wireNs(size)
+	if e.eligible {
+		// WF²Q+ virtual time: V = max(V + x, min start among backlogged
+		// flows) with the serviced flow re-stamped first.
+		e.stamp(best, false)
+		e.v += x
+		minStart, any := uint64(0), false
+		for _, f := range e.flows {
+			if _, ok := f.head(); ok && (!any || f.start < minStart) {
+				minStart = f.start
+				any = true
+			}
+		}
+		if any && minStart > e.v {
+			e.v = minStart
+		}
+	} else {
+		// WFQ: V advances by the wire time of the transmitted packet.
+		e.v += x
+		e.stamp(best, false)
+	}
+	return Decision{Flow: best.id, Size: size}, true
+}
+
+// NewWFQ builds a textbook WFQ oracle.
+func NewWFQ(cfgs []Config, linkGbps float64) Scheduler { return newFQ(cfgs, linkGbps, false) }
+
+// NewWF2Q builds a textbook WF²Q+ oracle.
+func NewWF2Q(cfgs []Config, linkGbps float64) Scheduler { return newFQ(cfgs, linkGbps, true) }
+
+// StrictPriority is the trivial oracle: always the backlogged flow with
+// the smallest priority value. Among equal priorities the order is
+// round-robin: a flow re-enters the queue behind its peers after every
+// packet, which is exactly what PIEO's FIFO tie-break plus re-enqueue
+// produces.
+type StrictPriority struct {
+	flows   []*flowState
+	prio    map[flowq.FlowID]uint64
+	nextSeq uint64
+}
+
+// NewStrictPriority builds a strict-priority oracle; prio maps flow ids
+// to priority values (smaller wins).
+func NewStrictPriority(cfgs []Config, prio map[flowq.FlowID]uint64) *StrictPriority {
+	flows := buildFlows(cfgs)
+	return &StrictPriority{flows: flows, prio: prio, nextSeq: uint64(len(flows))}
+}
+
+// Next implements Scheduler.
+func (s *StrictPriority) Next() (Decision, bool) {
+	var best *flowState
+	for _, f := range s.flows {
+		if _, ok := f.head(); !ok {
+			continue
+		}
+		if best == nil || s.prio[f.id] < s.prio[best.id] ||
+			(s.prio[f.id] == s.prio[best.id] && f.seq < best.seq) {
+			best = f
+		}
+	}
+	if best == nil {
+		return Decision{}, false
+	}
+	best.seq = s.nextSeq
+	s.nextSeq++
+	return Decision{Flow: best.id, Size: best.pop()}, true
+}
+
+// Drain runs a scheduler to exhaustion (with a safety cap) and returns
+// the full decision sequence.
+func Drain(s Scheduler, cap_ int) []Decision {
+	var out []Decision
+	for len(out) < cap_ {
+		d, ok := s.Next()
+		if !ok {
+			return out
+		}
+		out = append(out, d)
+	}
+	panic(fmt.Sprintf("oracle: scheduler did not drain within %d decisions", cap_))
+}
+
+// TokenBucketTimes computes, for a single backlogged flow, the exact
+// release times of a packet sequence under a token bucket with the given
+// rate (Gbps), burst (bytes), and initial level. It follows the same
+// discrete recurrence as the §4.2 pre-enqueue function (token refill
+// evaluated at the previous release instant, deferral truncated to whole
+// nanoseconds) so schedulers can be held to it exactly.
+func TokenBucketTimes(sizes []uint32, rateGbps, burst, initial float64) []clock.Time {
+	times := make([]clock.Time, len(sizes))
+	tokens := initial
+	var now, last clock.Time
+	for i, size := range sizes {
+		tokens += rateGbps / 8 * float64(now-last)
+		if tokens > burst {
+			tokens = burst
+		}
+		send := now
+		need := float64(size)
+		if need > tokens {
+			send = now + clock.Time((need-tokens)*8/rateGbps)
+		}
+		tokens -= need
+		last = now
+		times[i] = send
+		now = send // the next head is evaluated when this packet releases
+	}
+	return times
+}

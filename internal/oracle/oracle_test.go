@@ -1,0 +1,142 @@
+package oracle
+
+import (
+	"testing"
+
+	"pieo/internal/flowq"
+)
+
+func sizes(n int, s uint32) []uint32 {
+	out := make([]uint32, n)
+	for i := range out {
+		out[i] = s
+	}
+	return out
+}
+
+func TestDRREqualQuantaRoundRobin(t *testing.T) {
+	d := NewDRR([]Config{
+		{ID: 1, Packets: sizes(3, 1500), Quantum: 1500},
+		{ID: 2, Packets: sizes(3, 1500), Quantum: 1500},
+	})
+	var order []flowq.FlowID
+	for {
+		dec, ok := d.Next()
+		if !ok {
+			break
+		}
+		order = append(order, dec.Flow)
+	}
+	want := []flowq.FlowID{1, 2, 1, 2, 1, 2}
+	if len(order) != len(want) {
+		t.Fatalf("order = %v", order)
+	}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestDRRDeficitAccumulates(t *testing.T) {
+	// Quantum 500 < packet 1500: three visits per packet.
+	d := NewDRR([]Config{{ID: 1, Packets: sizes(2, 1500), Quantum: 500}})
+	got := Drain(d, 10)
+	if len(got) != 2 {
+		t.Fatalf("drained %d packets, want 2", len(got))
+	}
+}
+
+func TestDRRBigQuantumBursts(t *testing.T) {
+	d := NewDRR([]Config{
+		{ID: 1, Packets: sizes(4, 1000), Quantum: 2000},
+		{ID: 2, Packets: sizes(4, 1000), Quantum: 2000},
+	})
+	var order []flowq.FlowID
+	for {
+		dec, ok := d.Next()
+		if !ok {
+			break
+		}
+		order = append(order, dec.Flow)
+	}
+	want := []flowq.FlowID{1, 1, 2, 2, 1, 1, 2, 2}
+	for i := range want {
+		if order[i] != want[i] {
+			t.Fatalf("order = %v, want %v", order, want)
+		}
+	}
+}
+
+func TestWFQWeightedInterleave(t *testing.T) {
+	s := NewWFQ([]Config{
+		{ID: 1, Packets: sizes(6, 1500), Weight: 2},
+		{ID: 2, Packets: sizes(3, 1500), Weight: 1},
+	}, 40)
+	counts := map[flowq.FlowID]int{}
+	first6 := Drain(s, 100)[:6]
+	for _, d := range first6 {
+		counts[d.Flow]++
+	}
+	if counts[1] != 4 || counts[2] != 2 {
+		t.Fatalf("first 6 decisions: %v, want 4:2", counts)
+	}
+}
+
+func TestWF2QEligibilityGate(t *testing.T) {
+	// With equal weights and equal packets, WF2Q+ alternates strictly.
+	s := NewWF2Q([]Config{
+		{ID: 1, Packets: sizes(4, 1500)},
+		{ID: 2, Packets: sizes(4, 1500)},
+	}, 40)
+	got := Drain(s, 100)
+	for i := 1; i < len(got); i++ {
+		if got[i].Flow == got[i-1].Flow {
+			t.Fatalf("WF2Q+ did not alternate: %v", got)
+		}
+	}
+}
+
+func TestStrictPriorityOracle(t *testing.T) {
+	s := NewStrictPriority(
+		[]Config{{ID: 1, Packets: sizes(2, 100)}, {ID: 2, Packets: sizes(2, 100)}},
+		map[flowq.FlowID]uint64{1: 5, 2: 1},
+	)
+	got := Drain(s, 10)
+	want := []flowq.FlowID{2, 2, 1, 1}
+	for i := range want {
+		if got[i].Flow != want[i] {
+			t.Fatalf("order = %v", got)
+		}
+	}
+}
+
+func TestDrainPanicsOnRunaway(t *testing.T) {
+	d := NewDRR([]Config{{ID: 1, Packets: sizes(100, 100), Quantum: 100}})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Drain cap did not panic")
+		}
+	}()
+	Drain(d, 10)
+}
+
+func TestTokenBucketTimes(t *testing.T) {
+	// 1500 B packets at 12 Gbps (1000 ns per packet), bucket starts with
+	// exactly one packet.
+	times := TokenBucketTimes(sizes(3, 1500), 12, 3000, 1500)
+	want := []uint64{0, 1000, 2000}
+	for i, w := range want {
+		if uint64(times[i]) != w {
+			t.Fatalf("times = %v, want %v", times, want)
+		}
+	}
+}
+
+func TestTokenBucketTimesEmptyStart(t *testing.T) {
+	times := TokenBucketTimes(sizes(2, 1500), 1, 3000, 0)
+	// 1500 B at 1 Gbps = 12000 ns to earn each packet.
+	if uint64(times[0]) != 12000 || uint64(times[1]) != 24000 {
+		t.Fatalf("times = %v", times)
+	}
+}

@@ -1,0 +1,219 @@
+package pifo
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyList(t *testing.T) {
+	l := New(8)
+	if l.Len() != 0 || l.Capacity() != 8 {
+		t.Fatalf("Len/Capacity = %d/%d", l.Len(), l.Capacity())
+	}
+	if _, ok := l.Dequeue(); ok {
+		t.Fatal("Dequeue on empty succeeded")
+	}
+	if _, ok := l.Peek(); ok {
+		t.Fatal("Peek on empty succeeded")
+	}
+}
+
+func TestRankOrder(t *testing.T) {
+	l := New(8)
+	for _, r := range []uint64{5, 1, 9, 3} {
+		if err := l.Enqueue(Entry{ID: uint32(r), Rank: r}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := []uint64{1, 3, 5, 9}
+	for _, w := range want {
+		e, ok := l.Dequeue()
+		if !ok || e.Rank != w {
+			t.Fatalf("Dequeue = %v ok=%v, want rank %d", e, ok, w)
+		}
+	}
+}
+
+func TestFIFOAmongEquals(t *testing.T) {
+	l := New(8)
+	for id := uint32(0); id < 5; id++ {
+		l.Enqueue(Entry{ID: id, Rank: 7})
+	}
+	for id := uint32(0); id < 5; id++ {
+		e, _ := l.Dequeue()
+		if e.ID != id {
+			t.Fatalf("Dequeue ID = %d, want %d", e.ID, id)
+		}
+	}
+}
+
+func TestCapacity(t *testing.T) {
+	l := New(2)
+	l.Enqueue(Entry{ID: 1, Rank: 1})
+	l.Enqueue(Entry{ID: 2, Rank: 2})
+	if err := l.Enqueue(Entry{ID: 3, Rank: 3}); err != ErrFull {
+		t.Fatalf("err = %v, want ErrFull", err)
+	}
+}
+
+func TestStatsLinearWork(t *testing.T) {
+	// PIFO's defining cost: each enqueue compares against every stored
+	// element.
+	l := New(100)
+	for i := 0; i < 100; i++ {
+		l.Enqueue(Entry{ID: uint32(i), Rank: uint64(100 - i)}) // worst case: head inserts
+	}
+	s := l.Stats()
+	wantCompares := uint64(99 * 100 / 2)
+	if s.Compares != wantCompares {
+		t.Fatalf("Compares = %d, want %d", s.Compares, wantCompares)
+	}
+	if s.Shifts != wantCompares { // every element shifts on head insert
+		t.Fatalf("Shifts = %d, want %d", s.Shifts, wantCompares)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("New(0) did not panic")
+		}
+	}()
+	New(0)
+}
+
+// Property: PIFO drains in nondecreasing rank order.
+func TestDrainSortedProperty(t *testing.T) {
+	f := func(ranks []uint16) bool {
+		if len(ranks) == 0 {
+			return true
+		}
+		l := New(len(ranks))
+		for i, r := range ranks {
+			if err := l.Enqueue(Entry{ID: uint32(i), Rank: uint64(r)}); err != nil {
+				return false
+			}
+		}
+		prev := uint64(0)
+		for range ranks {
+			e, ok := l.Dequeue()
+			if !ok || e.Rank < prev {
+				return false
+			}
+			prev = e.Rank
+		}
+		return l.Len() == 0
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// --- WF²Q+ emulation strategies ---
+
+// items where eligibility matters: at v=0 only A is eligible; C has the
+// smallest finish among the flows that become eligible at v=5.
+func fig2Items() []Item {
+	return []Item{
+		{ID: 0, Name: "A", Start: 0, Finish: 20},
+		{ID: 1, Name: "B", Start: 10, Finish: 45},
+		{ID: 2, Name: "C", Start: 5, Finish: 30},
+		{ID: 3, Name: "D", Start: 3, Finish: 50},
+		{ID: 4, Name: "E", Start: 5, Finish: 40},
+		{ID: 5, Name: "F", Start: 5, Finish: 55},
+	}
+}
+
+func TestSingleByFinishIgnoresEligibility(t *testing.T) {
+	e := NewSingleByFinish(fig2Items())
+	// At v=0 only A (start 0) is truly eligible, and A happens to have
+	// the smallest finish. But the next schedule at v=0 returns C even
+	// though C's start time (5) is in the future: the single
+	// finish-ordered PIFO cannot test eligibility.
+	first, ok := e.Schedule(0)
+	if !ok || first.Name != "A" {
+		t.Fatalf("first = %v ok=%v, want A", first, ok)
+	}
+	second, ok := e.Schedule(0)
+	if !ok || second.Name != "C" {
+		t.Fatalf("second = %v, want C (scheduled early, demonstrating the flaw)", second)
+	}
+	if second.Start == 0 {
+		t.Fatal("test setup broken: C should be ineligible at v=0")
+	}
+}
+
+func TestSingleByStartViolatesFinishOrder(t *testing.T) {
+	e := NewSingleByStart(fig2Items())
+	e.Schedule(0) // A
+	// At v=5, C, D, E, F are all eligible; ideal picks C (finish 30),
+	// but the start-ordered PIFO's head is D (start 3).
+	got, ok := e.Schedule(5)
+	if !ok || got.Name != "D" {
+		t.Fatalf("Schedule(5) = %v, want D (start order, not finish order)", got)
+	}
+}
+
+func TestSingleByStartRespectsEligibility(t *testing.T) {
+	e := NewSingleByStart(fig2Items())
+	e.Schedule(0) // A
+	// At v=2 nothing else is eligible (D starts at 3).
+	if it, ok := e.Schedule(2); ok {
+		t.Fatalf("Schedule(2) = %v, want none", it)
+	}
+}
+
+func TestTwoPIFOReleasesInStartOrder(t *testing.T) {
+	e := NewTwoPIFO(fig2Items())
+	first, ok := e.Schedule(0)
+	if !ok || first.Name != "A" {
+		t.Fatalf("first = %v, want A", first)
+	}
+	// At v=5, D (start 3) is released first and transmitted, although C
+	// has the smaller finish time — the Fig 2(e) deviation.
+	second, ok := e.Schedule(5)
+	if !ok || second.Name != "D" {
+		t.Fatalf("second = %v, want D (released before C)", second)
+	}
+	// C eventually gets scheduled once released.
+	third, ok := e.Schedule(5)
+	if !ok || third.Name != "C" {
+		t.Fatalf("third = %v, want C", third)
+	}
+}
+
+func TestTwoPIFOUnboundedReleasesStillOrdered(t *testing.T) {
+	// With enough releases per slot the rank PIFO sees all eligible
+	// flows before transmitting, recovering the ideal order for this
+	// instance — showing the deviation is precisely the release
+	// bottleneck.
+	e := NewTwoPIFO(fig2Items())
+	e.ReleasesPerSlot = 16
+	e.Schedule(0) // A
+	got, ok := e.Schedule(5)
+	if !ok || got.Name != "C" {
+		t.Fatalf("Schedule(5) with unbounded releases = %v, want C", got)
+	}
+}
+
+func TestEmulatorsDrainEverything(t *testing.T) {
+	for name, em := range map[string]Emulator{
+		"finish": NewSingleByFinish(fig2Items()),
+		"start":  NewSingleByStart(fig2Items()),
+		"two":    NewTwoPIFO(fig2Items()),
+	} {
+		seen := 0
+		for v := uint64(0); v < 100 && em.Pending() > 0; v++ {
+			for {
+				_, ok := em.Schedule(v)
+				if !ok {
+					break
+				}
+				seen++
+			}
+		}
+		if seen != 6 || em.Pending() != 0 {
+			t.Fatalf("%s: scheduled %d, pending %d; want 6/0", name, seen, em.Pending())
+		}
+	}
+}

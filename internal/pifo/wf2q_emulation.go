@@ -1,0 +1,157 @@
+package pifo
+
+import "fmt"
+
+// Item is one flow competing under WF²Q+: its head packet has a virtual
+// start and finish time, and a transmission length that advances virtual
+// time when it is scheduled. WF²Q+ schedules the smallest finish time
+// among flows with start <= current virtual time (§2.3, Fig 2).
+type Item struct {
+	ID     uint32
+	Name   string
+	Start  uint64
+	Finish uint64
+	Size   uint64
+}
+
+// Emulator is a PIFO-based approximation of WF²Q+. The three strategies
+// of Fig 2(d)-(e) implement it; all share the signature: given the
+// current virtual time, pick the next flow to transmit.
+type Emulator interface {
+	// Schedule returns the next item to transmit at virtual time v, or
+	// ok=false if the emulator has nothing it is willing to schedule.
+	Schedule(v uint64) (Item, bool)
+	// Pending returns the number of items not yet scheduled.
+	Pending() int
+}
+
+// SingleByFinish emulates WF²Q+ with one PIFO ordered by increasing
+// finish time. It must ignore eligibility entirely: the head is
+// transmitted even if its start time is in the future, which breaks
+// WF²Q+'s worst-case fairness (Fig 2(d), first variant).
+type SingleByFinish struct {
+	list  *List
+	items map[uint32]Item
+}
+
+// NewSingleByFinish builds the emulator over the given items.
+func NewSingleByFinish(items []Item) *SingleByFinish {
+	e := &SingleByFinish{list: New(maxLen(items)), items: make(map[uint32]Item, len(items))}
+	for _, it := range items {
+		e.items[it.ID] = it
+		mustEnqueue(e.list, Entry{ID: it.ID, Rank: it.Finish})
+	}
+	return e
+}
+
+// Schedule implements Emulator. v is unused: a single finish-ordered
+// PIFO has no way to test eligibility.
+func (e *SingleByFinish) Schedule(v uint64) (Item, bool) {
+	ent, ok := e.list.Dequeue()
+	if !ok {
+		return Item{}, false
+	}
+	return e.items[ent.ID], true
+}
+
+// Pending implements Emulator.
+func (e *SingleByFinish) Pending() int { return e.list.Len() }
+
+// SingleByStart emulates WF²Q+ with one PIFO ordered by increasing start
+// time. Eligibility of the head can be tested against v, but among
+// simultaneously eligible flows the head is the smallest *start*, not the
+// smallest finish, so the finish order is violated (Fig 2(d), second
+// variant).
+type SingleByStart struct {
+	list  *List
+	items map[uint32]Item
+}
+
+// NewSingleByStart builds the emulator over the given items.
+func NewSingleByStart(items []Item) *SingleByStart {
+	e := &SingleByStart{list: New(maxLen(items)), items: make(map[uint32]Item, len(items))}
+	for _, it := range items {
+		e.items[it.ID] = it
+		mustEnqueue(e.list, Entry{ID: it.ID, Rank: it.Start})
+	}
+	return e
+}
+
+// Schedule implements Emulator: transmit the head if it is eligible.
+func (e *SingleByStart) Schedule(v uint64) (Item, bool) {
+	head, ok := e.list.Peek()
+	if !ok || head.Rank > v {
+		return Item{}, false
+	}
+	ent, _ := e.list.Dequeue()
+	return e.items[ent.ID], true
+}
+
+// Pending implements Emulator.
+func (e *SingleByStart) Pending() int { return e.list.Len() }
+
+// TwoPIFO is the Fig 2(e) construction: an eligibility PIFO ordered by
+// start time releases flows into a rank PIFO ordered by finish time as
+// they become eligible. ReleasesPerSlot bounds how many flows can cross
+// between the PIFOs per scheduling slot — in hardware each transfer is a
+// dequeue+enqueue pair, so only O(1) can happen per decision. When many
+// flows become eligible at once, they are released in *start* order, and
+// the scheduler transmits whatever has reached the rank PIFO, deviating
+// from the ideal finish order by up to O(N) positions (§2.3).
+type TwoPIFO struct {
+	eligibility     *List // rank = start time
+	rank            *List // rank = finish time
+	items           map[uint32]Item
+	ReleasesPerSlot int
+}
+
+// NewTwoPIFO builds the emulator over the given items with the default
+// one release per scheduling slot.
+func NewTwoPIFO(items []Item) *TwoPIFO {
+	e := &TwoPIFO{
+		eligibility:     New(maxLen(items)),
+		rank:            New(maxLen(items)),
+		items:           make(map[uint32]Item, len(items)),
+		ReleasesPerSlot: 1,
+	}
+	for _, it := range items {
+		e.items[it.ID] = it
+		mustEnqueue(e.eligibility, Entry{ID: it.ID, Rank: it.Start})
+	}
+	return e
+}
+
+// Schedule implements Emulator: release up to ReleasesPerSlot eligible
+// flows (start <= v) from the eligibility PIFO into the rank PIFO, then
+// transmit the rank-PIFO head.
+func (e *TwoPIFO) Schedule(v uint64) (Item, bool) {
+	for i := 0; i < e.ReleasesPerSlot; i++ {
+		head, ok := e.eligibility.Peek()
+		if !ok || head.Rank > v {
+			break
+		}
+		ent, _ := e.eligibility.Dequeue()
+		mustEnqueue(e.rank, Entry{ID: ent.ID, Rank: e.items[ent.ID].Finish})
+	}
+	ent, ok := e.rank.Dequeue()
+	if !ok {
+		return Item{}, false
+	}
+	return e.items[ent.ID], true
+}
+
+// Pending implements Emulator.
+func (e *TwoPIFO) Pending() int { return e.eligibility.Len() + e.rank.Len() }
+
+func maxLen(items []Item) int {
+	if len(items) == 0 {
+		return 1
+	}
+	return len(items)
+}
+
+func mustEnqueue(l *List, e Entry) {
+	if err := l.Enqueue(e); err != nil {
+		panic(fmt.Sprintf("pifo: emulator enqueue overflow: %v", err))
+	}
+}

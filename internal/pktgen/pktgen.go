@@ -1,0 +1,278 @@
+// Package pktgen generates synthetic traffic for the evaluation harness.
+// The paper's prototype used on-FPGA packet generators, one per flow, to
+// simulate always-backlogged flows at MTU granularity (§6.3); this package
+// reproduces that workload and adds the standard open-loop generators
+// (constant bit rate, Poisson, on-off bursty) and packet-size
+// distributions needed for wider experiments. All generators are seeded
+// and deterministic.
+package pktgen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"pieo/internal/clock"
+	"pieo/internal/flowq"
+)
+
+// MTU is the packet size the paper schedules at (standard Ethernet MTU).
+const MTU = 1500
+
+// SizeDist produces packet sizes in bytes.
+type SizeDist interface {
+	Next() uint32
+}
+
+// FixedSize always returns the same packet size.
+type FixedSize uint32
+
+// Next returns the fixed size.
+func (f FixedSize) Next() uint32 { return uint32(f) }
+
+// UniformSize draws sizes uniformly from [Min, Max].
+type UniformSize struct {
+	Min, Max uint32
+	Rng      *rand.Rand
+}
+
+// Next returns a uniformly distributed size.
+func (u *UniformSize) Next() uint32 {
+	if u.Max <= u.Min {
+		return u.Min
+	}
+	return u.Min + uint32(u.Rng.Intn(int(u.Max-u.Min+1)))
+}
+
+// BimodalSize models the classic datacenter mix of small (ACK-sized) and
+// large (MTU) packets.
+type BimodalSize struct {
+	Small, Large uint32
+	// FracSmall in [0,1] is the probability of drawing Small.
+	FracSmall float64
+	Rng       *rand.Rand
+}
+
+// Next returns Small with probability FracSmall, else Large.
+func (b *BimodalSize) Next() uint32 {
+	if b.Rng.Float64() < b.FracSmall {
+		return b.Small
+	}
+	return b.Large
+}
+
+// Arrival is one generated packet arrival.
+type Arrival struct {
+	At  clock.Time
+	Pkt flowq.Packet
+}
+
+// Generator produces a deterministic arrival stream for one flow.
+type Generator interface {
+	// NextArrival returns the next arrival, or ok=false when the stream
+	// is exhausted.
+	NextArrival() (Arrival, bool)
+}
+
+// Backlogged emits Count packets all arriving at time 0 — the paper's
+// always-backlogged workload (§6.3). With Count == 0 it is unbounded.
+type Backlogged struct {
+	Flow  flowq.FlowID
+	Size  SizeDist
+	Count int
+
+	emitted int
+	seq     uint64
+}
+
+// NextArrival implements Generator.
+func (g *Backlogged) NextArrival() (Arrival, bool) {
+	if g.Count > 0 && g.emitted >= g.Count {
+		return Arrival{}, false
+	}
+	g.emitted++
+	g.seq++
+	return Arrival{
+		At:  0,
+		Pkt: flowq.Packet{Flow: g.Flow, Size: g.Size.Next(), Seq: g.seq},
+	}, true
+}
+
+// CBR emits packets with a fixed inter-arrival gap, producing a constant
+// bit rate stream.
+type CBR struct {
+	Flow  flowq.FlowID
+	Size  SizeDist
+	Gap   clock.Time // inter-arrival time in ticks
+	Start clock.Time
+	Count int
+
+	emitted int
+	seq     uint64
+	next    clock.Time
+	primed  bool
+}
+
+// NextArrival implements Generator.
+func (g *CBR) NextArrival() (Arrival, bool) {
+	if g.Count > 0 && g.emitted >= g.Count {
+		return Arrival{}, false
+	}
+	if !g.primed {
+		g.next = g.Start
+		g.primed = true
+	}
+	at := g.next
+	g.next += g.Gap
+	g.emitted++
+	g.seq++
+	return Arrival{
+		At:  at,
+		Pkt: flowq.Packet{Flow: g.Flow, Size: g.Size.Next(), Arrival: at, Seq: g.seq},
+	}, true
+}
+
+// GapForRate returns the CBR inter-arrival gap in ns that yields rate
+// gbps with the given packet size.
+func GapForRate(gbps float64, size uint32) clock.Time {
+	if gbps <= 0 {
+		panic("pktgen: rate must be positive")
+	}
+	return clock.Time(math.Round(float64(size) * 8 / gbps)) // bits / (bits/ns)
+}
+
+// Poisson emits packets with exponentially distributed inter-arrival
+// times of the given mean, the standard open-loop arrival model.
+type Poisson struct {
+	Flow    flowq.FlowID
+	Size    SizeDist
+	MeanGap float64 // mean inter-arrival in ticks
+	Start   clock.Time
+	Count   int
+	Rng     *rand.Rand
+
+	emitted int
+	seq     uint64
+	next    clock.Time
+	primed  bool
+}
+
+// NextArrival implements Generator.
+func (g *Poisson) NextArrival() (Arrival, bool) {
+	if g.Count > 0 && g.emitted >= g.Count {
+		return Arrival{}, false
+	}
+	if !g.primed {
+		g.next = g.Start
+		g.primed = true
+	}
+	at := g.next
+	gap := clock.Time(math.Ceil(g.Rng.ExpFloat64() * g.MeanGap))
+	if gap == 0 {
+		gap = 1
+	}
+	g.next += gap
+	g.emitted++
+	g.seq++
+	return Arrival{
+		At:  at,
+		Pkt: flowq.Packet{Flow: g.Flow, Size: g.Size.Next(), Arrival: at, Seq: g.seq},
+	}, true
+}
+
+// OnOff emits bursts of BurstLen packets back-to-back at PktGap spacing,
+// separated by idle periods of IdleGap — a bursty on-off source.
+type OnOff struct {
+	Flow     flowq.FlowID
+	Size     SizeDist
+	BurstLen int
+	PktGap   clock.Time
+	IdleGap  clock.Time
+	Start    clock.Time
+	Count    int
+
+	emitted int
+	inBurst int
+	seq     uint64
+	next    clock.Time
+	primed  bool
+}
+
+// NextArrival implements Generator.
+func (g *OnOff) NextArrival() (Arrival, bool) {
+	if g.Count > 0 && g.emitted >= g.Count {
+		return Arrival{}, false
+	}
+	if g.BurstLen <= 0 {
+		panic("pktgen: OnOff.BurstLen must be positive")
+	}
+	if !g.primed {
+		g.next = g.Start
+		g.primed = true
+	}
+	at := g.next
+	g.inBurst++
+	if g.inBurst >= g.BurstLen {
+		g.inBurst = 0
+		g.next += g.IdleGap
+	} else {
+		g.next += g.PktGap
+	}
+	g.emitted++
+	g.seq++
+	return Arrival{
+		At:  at,
+		Pkt: flowq.Packet{Flow: g.Flow, Size: g.Size.Next(), Arrival: at, Seq: g.seq},
+	}, true
+}
+
+// Merge drains a set of generators into one globally time-ordered arrival
+// stream (stable across equal timestamps by generator order). It realizes
+// the "hundreds of flows per host" workload shape by fanning in per-flow
+// sources.
+func Merge(gens ...Generator) []Arrival {
+	type cursor struct {
+		gen  Generator
+		head Arrival
+		ok   bool
+	}
+	cursors := make([]cursor, len(gens))
+	for i, g := range gens {
+		a, ok := g.NextArrival()
+		cursors[i] = cursor{gen: g, head: a, ok: ok}
+	}
+	var out []Arrival
+	for {
+		best := -1
+		for i := range cursors {
+			if !cursors[i].ok {
+				continue
+			}
+			if best == -1 || cursors[i].head.At < cursors[best].head.At {
+				best = i
+			}
+		}
+		if best == -1 {
+			return out
+		}
+		out = append(out, cursors[best].head)
+		cursors[best].head, cursors[best].ok = cursors[best].gen.NextArrival()
+	}
+}
+
+// Validate sanity-checks a merged stream: timestamps must be
+// non-decreasing and sizes positive. It returns an error describing the
+// first violation.
+func Validate(arrivals []Arrival) error {
+	var prev clock.Time
+	for i, a := range arrivals {
+		if a.At < prev {
+			return fmt.Errorf("pktgen: arrival %d at %v precedes %v", i, a.At, prev)
+		}
+		if a.Pkt.Size == 0 {
+			return fmt.Errorf("pktgen: arrival %d has zero size", i)
+		}
+		prev = a.At
+	}
+	return nil
+}

@@ -1,0 +1,214 @@
+package pktgen
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"pieo/internal/clock"
+	"pieo/internal/flowq"
+)
+
+func TestFixedSize(t *testing.T) {
+	var d SizeDist = FixedSize(1500)
+	for i := 0; i < 5; i++ {
+		if got := d.Next(); got != 1500 {
+			t.Fatalf("Next() = %d, want 1500", got)
+		}
+	}
+}
+
+func TestUniformSizeBounds(t *testing.T) {
+	d := &UniformSize{Min: 64, Max: 1500, Rng: rand.New(rand.NewSource(1))}
+	for i := 0; i < 1000; i++ {
+		s := d.Next()
+		if s < 64 || s > 1500 {
+			t.Fatalf("size %d out of [64,1500]", s)
+		}
+	}
+}
+
+func TestUniformSizeDegenerate(t *testing.T) {
+	d := &UniformSize{Min: 100, Max: 100, Rng: rand.New(rand.NewSource(1))}
+	if got := d.Next(); got != 100 {
+		t.Fatalf("Next() = %d, want 100", got)
+	}
+}
+
+func TestBimodalSizeMix(t *testing.T) {
+	d := &BimodalSize{Small: 64, Large: 1500, FracSmall: 0.5, Rng: rand.New(rand.NewSource(7))}
+	small, large := 0, 0
+	for i := 0; i < 10000; i++ {
+		switch d.Next() {
+		case 64:
+			small++
+		case 1500:
+			large++
+		default:
+			t.Fatalf("unexpected size")
+		}
+	}
+	frac := float64(small) / 10000
+	if frac < 0.45 || frac > 0.55 {
+		t.Fatalf("small fraction = %v, want ~0.5", frac)
+	}
+	if large == 0 {
+		t.Fatal("no large packets drawn")
+	}
+}
+
+func TestBackloggedAllAtZero(t *testing.T) {
+	g := &Backlogged{Flow: 3, Size: FixedSize(MTU), Count: 10}
+	n := 0
+	for {
+		a, ok := g.NextArrival()
+		if !ok {
+			break
+		}
+		if a.At != 0 {
+			t.Fatalf("backlogged arrival at %v, want 0", a.At)
+		}
+		if a.Pkt.Flow != 3 || a.Pkt.Size != MTU {
+			t.Fatalf("bad packet %+v", a.Pkt)
+		}
+		n++
+	}
+	if n != 10 {
+		t.Fatalf("emitted %d, want 10", n)
+	}
+}
+
+func TestCBRSpacing(t *testing.T) {
+	g := &CBR{Flow: 1, Size: FixedSize(1500), Gap: 120, Start: 1000, Count: 5}
+	want := []clock.Time{1000, 1120, 1240, 1360, 1480}
+	for i, w := range want {
+		a, ok := g.NextArrival()
+		if !ok || a.At != w {
+			t.Fatalf("arrival %d = %v ok=%v, want %v", i, a.At, ok, w)
+		}
+	}
+	if _, ok := g.NextArrival(); ok {
+		t.Fatal("CBR emitted beyond Count")
+	}
+}
+
+func TestGapForRate(t *testing.T) {
+	// 1500 B at 100 Gbps: 12000 bits / 100 bits-per-ns = 120 ns (the
+	// paper's MTU-at-100G budget).
+	if got := GapForRate(100, 1500); got != 120 {
+		t.Fatalf("GapForRate(100,1500) = %v, want 120", got)
+	}
+	// 40 Gbps MTU: 300 ns.
+	if got := GapForRate(40, 1500); got != 300 {
+		t.Fatalf("GapForRate(40,1500) = %v, want 300", got)
+	}
+}
+
+func TestGapForRateRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("GapForRate(0) did not panic")
+		}
+	}()
+	GapForRate(0, 1500)
+}
+
+func TestPoissonMeanGap(t *testing.T) {
+	g := &Poisson{Flow: 1, Size: FixedSize(64), MeanGap: 100, Count: 20000, Rng: rand.New(rand.NewSource(42))}
+	var prev clock.Time
+	var total float64
+	n := 0
+	for {
+		a, ok := g.NextArrival()
+		if !ok {
+			break
+		}
+		if n > 0 {
+			total += float64(a.At - prev)
+		}
+		prev = a.At
+		n++
+	}
+	mean := total / float64(n-1)
+	if math.Abs(mean-100) > 5 {
+		t.Fatalf("mean gap = %v, want ~100", mean)
+	}
+}
+
+func TestOnOffBurstStructure(t *testing.T) {
+	g := &OnOff{Flow: 1, Size: FixedSize(64), BurstLen: 3, PktGap: 10, IdleGap: 1000, Count: 7}
+	var at []clock.Time
+	for {
+		a, ok := g.NextArrival()
+		if !ok {
+			break
+		}
+		at = append(at, a.At)
+	}
+	want := []clock.Time{0, 10, 20, 1020, 1030, 1040, 2040}
+	if len(at) != len(want) {
+		t.Fatalf("emitted %d, want %d", len(at), len(want))
+	}
+	for i := range want {
+		if at[i] != want[i] {
+			t.Fatalf("arrival %d at %v, want %v (all: %v)", i, at[i], want[i], at)
+		}
+	}
+}
+
+func TestMergeOrdersGlobally(t *testing.T) {
+	a := &CBR{Flow: 1, Size: FixedSize(64), Gap: 100, Start: 0, Count: 5}
+	b := &CBR{Flow: 2, Size: FixedSize(64), Gap: 70, Start: 5, Count: 5}
+	merged := Merge(a, b)
+	if len(merged) != 10 {
+		t.Fatalf("merged %d arrivals, want 10", len(merged))
+	}
+	if err := Validate(merged); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMergeStableAtTies(t *testing.T) {
+	a := &CBR{Flow: 1, Size: FixedSize(64), Gap: 100, Start: 0, Count: 2}
+	b := &CBR{Flow: 2, Size: FixedSize(64), Gap: 100, Start: 0, Count: 2}
+	merged := Merge(a, b)
+	// At each shared timestamp, generator order (flow 1 first) wins.
+	wantFlows := []uint32{1, 2, 1, 2}
+	for i, w := range wantFlows {
+		if uint32(merged[i].Pkt.Flow) != w {
+			t.Fatalf("merged[%d].Flow = %d, want %d", i, merged[i].Pkt.Flow, w)
+		}
+	}
+}
+
+func TestValidateCatchesDisorder(t *testing.T) {
+	bad := []Arrival{{At: 10, Pkt: flowq.Packet{Size: 64}}, {At: 5, Pkt: flowq.Packet{Size: 64}}}
+	if err := Validate(bad); err == nil {
+		t.Fatal("Validate accepted out-of-order stream")
+	}
+	zero := []Arrival{{At: 0, Pkt: flowq.Packet{Size: 0}}}
+	if err := Validate(zero); err == nil {
+		t.Fatal("Validate accepted zero-size packet")
+	}
+}
+
+// Property: CBR arrivals are exactly Start + i*Gap for any parameters.
+func TestCBRSpacingProperty(t *testing.T) {
+	f := func(gap16 uint16, start16 uint16, count8 uint8) bool {
+		gap := clock.Time(gap16)
+		count := int(count8%32) + 1
+		g := &CBR{Flow: 1, Size: FixedSize(64), Gap: gap, Start: clock.Time(start16), Count: count}
+		for i := 0; i < count; i++ {
+			a, ok := g.NextArrival()
+			if !ok || a.At != clock.Time(start16)+clock.Time(i)*gap {
+				return false
+			}
+		}
+		_, ok := g.NextArrival()
+		return !ok
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

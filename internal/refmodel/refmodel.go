@@ -1,0 +1,133 @@
+// Package refmodel is the executable specification of the PIEO primitive
+// (§3.1): a single flat list ordered by (rank, FIFO arrival), with
+// dequeue returning the first eligible element. It makes no attempt to be
+// fast or hardware-shaped — its only job is to be obviously correct so
+// the sublist-based implementation in internal/core can be tested
+// differentially against it.
+package refmodel
+
+import (
+	"pieo/internal/clock"
+	"pieo/internal/core"
+)
+
+type element struct {
+	core.Entry
+	seq uint64
+}
+
+// List is a flat, sorted PIEO list with the same operation contract as
+// core.List.
+type List struct {
+	capacity int
+	entries  []element
+	seq      uint64
+	present  map[uint32]bool
+}
+
+// New creates a reference list with the given capacity.
+func New(capacity int) *List {
+	return &List{capacity: capacity, present: make(map[uint32]bool)}
+}
+
+// Len returns the number of queued elements.
+func (l *List) Len() int { return len(l.entries) }
+
+// Contains reports whether id is queued.
+func (l *List) Contains(id uint32) bool { return l.present[id] }
+
+// Enqueue inserts e in (rank, FIFO) order.
+func (l *List) Enqueue(e core.Entry) error {
+	if len(l.entries) == l.capacity {
+		return core.ErrFull
+	}
+	if l.present[e.ID] {
+		return core.ErrDuplicate
+	}
+	l.seq++
+	elem := element{Entry: e, seq: l.seq}
+	idx := len(l.entries)
+	for i, x := range l.entries {
+		if elem.Rank < x.Rank || (elem.Rank == x.Rank && elem.seq < x.seq) {
+			idx = i
+			break
+		}
+	}
+	l.entries = append(l.entries, element{})
+	copy(l.entries[idx+1:], l.entries[idx:])
+	l.entries[idx] = elem
+	l.present[e.ID] = true
+	return nil
+}
+
+// Dequeue extracts the smallest-ranked eligible element at now.
+func (l *List) Dequeue(now clock.Time) (core.Entry, bool) {
+	for i, x := range l.entries {
+		if x.SendTime <= now {
+			return l.removeAt(i), true
+		}
+	}
+	return core.Entry{}, false
+}
+
+// Peek returns what Dequeue would extract, without removing it.
+func (l *List) Peek(now clock.Time) (core.Entry, bool) {
+	for _, x := range l.entries {
+		if x.SendTime <= now {
+			return x.Entry, true
+		}
+	}
+	return core.Entry{}, false
+}
+
+// DequeueFlow extracts the element with the given id.
+func (l *List) DequeueFlow(id uint32) (core.Entry, bool) {
+	for i, x := range l.entries {
+		if x.ID == id {
+			return l.removeAt(i), true
+		}
+	}
+	return core.Entry{}, false
+}
+
+// DequeueRange extracts the smallest-ranked eligible element with
+// lo <= ID <= hi.
+func (l *List) DequeueRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
+	for i, x := range l.entries {
+		if x.SendTime <= now && x.ID >= lo && x.ID <= hi {
+			return l.removeAt(i), true
+		}
+	}
+	return core.Entry{}, false
+}
+
+// MinSendTime returns the smallest send_time among queued elements.
+func (l *List) MinSendTime() (clock.Time, bool) {
+	if len(l.entries) == 0 {
+		return 0, false
+	}
+	minT := clock.Never
+	for _, x := range l.entries {
+		if x.SendTime < minT {
+			minT = x.SendTime
+		}
+	}
+	return minT, true
+}
+
+// Snapshot returns the entries in (rank, FIFO) order.
+func (l *List) Snapshot() []core.Entry {
+	out := make([]core.Entry, len(l.entries))
+	for i, x := range l.entries {
+		out[i] = x.Entry
+	}
+	return out
+}
+
+func (l *List) removeAt(i int) core.Entry {
+	e := l.entries[i].Entry
+	copy(l.entries[i:], l.entries[i+1:])
+	l.entries = l.entries[:len(l.entries)-1]
+	delete(l.present, e.ID)
+	return e
+}

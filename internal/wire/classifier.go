@@ -1,0 +1,84 @@
+package wire
+
+import (
+	"fmt"
+
+	"pieo/internal/flowq"
+)
+
+// Classifier assigns stable FlowIDs to 5-tuples — the step between the
+// wire and the per-flow queues in Fig 1. IDs are dense and allocated in
+// first-seen order so they can index the scheduler's flow table and the
+// hierarchy's contiguous child ranges directly.
+type Classifier struct {
+	// Symmetric, when true, maps both directions of a connection to the
+	// same flow (classification by FastHash-style canonical tuple).
+	Symmetric bool
+
+	byTuple map[FiveTuple]flowq.FlowID
+	next    flowq.FlowID
+	max     int
+}
+
+// NewClassifier creates a classifier admitting at most maxFlows flows.
+func NewClassifier(maxFlows int) *Classifier {
+	if maxFlows <= 0 {
+		panic(fmt.Sprintf("wire: maxFlows must be positive, got %d", maxFlows))
+	}
+	return &Classifier{byTuple: make(map[FiveTuple]flowq.FlowID, maxFlows), max: maxFlows}
+}
+
+// canonical folds the two directions onto one tuple when Symmetric.
+func (c *Classifier) canonical(t FiveTuple) FiveTuple {
+	if !c.Symmetric {
+		return t
+	}
+	r := t.Reverse()
+	// Lexicographic pick of the smaller direction.
+	if less(r, t) {
+		return r
+	}
+	return t
+}
+
+func less(a, b FiveTuple) bool {
+	for i := 0; i < 4; i++ {
+		if a.SrcIP[i] != b.SrcIP[i] {
+			return a.SrcIP[i] < b.SrcIP[i]
+		}
+	}
+	for i := 0; i < 4; i++ {
+		if a.DstIP[i] != b.DstIP[i] {
+			return a.DstIP[i] < b.DstIP[i]
+		}
+	}
+	if a.SrcPort != b.SrcPort {
+		return a.SrcPort < b.SrcPort
+	}
+	return a.DstPort < b.DstPort
+}
+
+// Classify returns the FlowID for the tuple, allocating one on first
+// sight. ok is false when the flow table is full and the tuple is new.
+func (c *Classifier) Classify(t FiveTuple) (flowq.FlowID, bool) {
+	key := c.canonical(t)
+	if id, seen := c.byTuple[key]; seen {
+		return id, true
+	}
+	if len(c.byTuple) >= c.max {
+		return 0, false
+	}
+	id := c.next
+	c.next++
+	c.byTuple[key] = id
+	return id, true
+}
+
+// Flows returns the number of allocated flows.
+func (c *Classifier) Flows() int { return len(c.byTuple) }
+
+// Lookup returns the FlowID without allocating.
+func (c *Classifier) Lookup(t FiveTuple) (flowq.FlowID, bool) {
+	id, ok := c.byTuple[c.canonical(t)]
+	return id, ok
+}

@@ -1,0 +1,219 @@
+package wire
+
+import (
+	"errors"
+	"testing"
+	"testing/quick"
+)
+
+func tupleUDP() FiveTuple {
+	return FiveTuple{
+		SrcIP: [4]byte{10, 0, 0, 1}, DstIP: [4]byte{10, 0, 0, 2},
+		SrcPort: 5000, DstPort: 53, Protocol: ProtoUDP,
+	}
+}
+
+func tupleTCP() FiveTuple {
+	return FiveTuple{
+		SrcIP: [4]byte{192, 168, 1, 5}, DstIP: [4]byte{172, 16, 0, 9},
+		SrcPort: 44321, DstPort: 443, Protocol: ProtoTCP,
+	}
+}
+
+func TestRoundTripUDP(t *testing.T) {
+	frame := BuildFrame(tupleUDP(), 100)
+	var d Decoder
+	got, err := d.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tupleUDP() {
+		t.Fatalf("tuple = %v, want %v", got, tupleUDP())
+	}
+	if d.IP.Protocol != ProtoUDP || d.Trans.DstPort != 53 {
+		t.Fatalf("layers = %+v %+v", d.IP, d.Trans)
+	}
+}
+
+func TestRoundTripTCP(t *testing.T) {
+	frame := BuildFrame(tupleTCP(), 1000)
+	var d Decoder
+	got, err := d.Decode(frame)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != tupleTCP() {
+		t.Fatalf("tuple = %v, want %v", got, tupleTCP())
+	}
+}
+
+func TestChecksumValid(t *testing.T) {
+	frame := BuildFrame(tupleUDP(), 64)
+	if !ValidateIPv4Checksum(frame) {
+		t.Fatal("generated frame has a bad IPv4 checksum")
+	}
+	frame[ethHeaderLen+8]++ // corrupt TTL
+	if ValidateIPv4Checksum(frame) {
+		t.Fatal("corrupted frame passed checksum")
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	var d Decoder
+	cases := []struct {
+		name  string
+		frame []byte
+		want  error
+	}{
+		{"empty", nil, ErrTruncated},
+		{"short-eth", make([]byte, 10), ErrTruncated},
+		{"not-ipv4", func() []byte {
+			f := BuildFrame(tupleUDP(), 10)
+			f[12], f[13] = 0x86, 0xdd // IPv6 ethertype
+			return f
+		}(), ErrNotIPv4},
+		{"bad-version", func() []byte {
+			f := BuildFrame(tupleUDP(), 10)
+			f[ethHeaderLen] = 0x65
+			return f
+		}(), ErrNotIPv4},
+		{"bad-ihl", func() []byte {
+			f := BuildFrame(tupleUDP(), 10)
+			f[ethHeaderLen] = 0x41 // IHL 4 -> 16 bytes < 20
+			return f
+		}(), ErrBadIHL},
+		{"truncated-ip", append(BuildFrame(tupleUDP(), 10)[:ethHeaderLen], make([]byte, 8)...), ErrTruncated},
+		{"unsupported-proto", func() []byte {
+			f := BuildFrame(tupleUDP(), 10)
+			f[ethHeaderLen+9] = 1 // ICMP
+			return f
+		}(), ErrUnsupported},
+		{"truncated-udp", BuildFrame(tupleUDP(), 10)[:ethHeaderLen+ipv4MinHeader+4], ErrTruncated},
+	}
+	for _, c := range cases {
+		_, err := d.Decode(c.frame)
+		if !errors.Is(err, c.want) {
+			t.Errorf("%s: err = %v, want %v", c.name, err, c.want)
+		}
+	}
+}
+
+func TestFiveTupleString(t *testing.T) {
+	got := tupleUDP().String()
+	want := "10.0.0.1:5000->10.0.0.2:53/udp"
+	if got != want {
+		t.Fatalf("String = %q, want %q", got, want)
+	}
+}
+
+func TestFastHashSymmetric(t *testing.T) {
+	a := tupleTCP()
+	if a.FastHash() != a.Reverse().FastHash() {
+		t.Fatal("FastHash not direction-symmetric")
+	}
+	b := tupleUDP()
+	if a.FastHash() == b.FastHash() {
+		t.Fatal("distinct tuples hash equal (unlucky, change the hash)")
+	}
+}
+
+func TestClassifierStableIDs(t *testing.T) {
+	c := NewClassifier(8)
+	id1, ok := c.Classify(tupleUDP())
+	if !ok {
+		t.Fatal("Classify failed")
+	}
+	id2, _ := c.Classify(tupleTCP())
+	if id1 == id2 {
+		t.Fatal("distinct tuples share an id")
+	}
+	again, _ := c.Classify(tupleUDP())
+	if again != id1 {
+		t.Fatalf("id changed: %d -> %d", id1, again)
+	}
+	if c.Flows() != 2 {
+		t.Fatalf("Flows = %d", c.Flows())
+	}
+}
+
+func TestClassifierCapacity(t *testing.T) {
+	c := NewClassifier(1)
+	if _, ok := c.Classify(tupleUDP()); !ok {
+		t.Fatal("first flow rejected")
+	}
+	if _, ok := c.Classify(tupleTCP()); ok {
+		t.Fatal("flow table overflow admitted")
+	}
+	// Existing flows still classify.
+	if _, ok := c.Classify(tupleUDP()); !ok {
+		t.Fatal("existing flow rejected at capacity")
+	}
+}
+
+func TestClassifierSymmetric(t *testing.T) {
+	c := NewClassifier(8)
+	c.Symmetric = true
+	fwd, _ := c.Classify(tupleTCP())
+	rev, _ := c.Classify(tupleTCP().Reverse())
+	if fwd != rev {
+		t.Fatal("symmetric classifier split a connection")
+	}
+	if c.Flows() != 1 {
+		t.Fatalf("Flows = %d, want 1", c.Flows())
+	}
+}
+
+func TestClassifierLookupDoesNotAllocate(t *testing.T) {
+	c := NewClassifier(8)
+	if _, ok := c.Lookup(tupleUDP()); ok {
+		t.Fatal("Lookup invented a flow")
+	}
+	if c.Flows() != 0 {
+		t.Fatal("Lookup allocated")
+	}
+}
+
+func TestNewClassifierPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewClassifier(0) did not panic")
+		}
+	}()
+	NewClassifier(0)
+}
+
+// Property: Decode(BuildFrame(t)) == t for arbitrary tuples, and the
+// checksum always validates.
+func TestRoundTripProperty(t *testing.T) {
+	f := func(src, dst [4]byte, sp, dp uint16, tcp bool, payload uint8) bool {
+		proto := uint8(ProtoUDP)
+		if tcp {
+			proto = ProtoTCP
+		}
+		in := FiveTuple{SrcIP: src, DstIP: dst, SrcPort: sp, DstPort: dp, Protocol: proto}
+		frame := BuildFrame(in, int(payload))
+		if !ValidateIPv4Checksum(frame) {
+			return false
+		}
+		var d Decoder
+		out, err := d.Decode(frame)
+		return err == nil && out == in
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the decoder never allocates per packet after warm-up.
+func TestDecodeZeroAlloc(t *testing.T) {
+	frame := BuildFrame(tupleTCP(), 512)
+	var d Decoder
+	allocs := testing.AllocsPerRun(1000, func() {
+		if _, err := d.Decode(frame); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Fatalf("Decode allocates %v per packet, want 0", allocs)
+	}
+}

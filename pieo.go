@@ -1,0 +1,244 @@
+// Package pieo is a Go implementation of PIEO (Push-In-Extract-Out), the
+// programmable packet scheduling primitive of "Fast, Scalable, and
+// Programmable Packet Scheduler in Hardware" (Vishal Shrivastav, SIGCOMM
+// 2019), together with the scheduler framework, algorithm catalogue,
+// hierarchical composition, hardware cost model, and evaluation harness
+// that reproduce the paper.
+//
+// A PIEO list keeps elements ordered by a programmable rank and attaches
+// to each element an eligibility predicate encoded as a send time; a
+// dequeue extracts the smallest-ranked element whose predicate holds
+// ("schedule the smallest ranked eligible element"). Unlike a PIFO
+// priority queue, which can only pop its head, PIEO can dequeue from
+// arbitrary positions via the predicate filter — which is exactly what
+// algorithms such as WF²Q+ and all non-work-conserving shapers need.
+//
+// The package re-exports the core types so applications depend only on
+// the module root:
+//
+//	l := pieo.NewList(1024)
+//	l.Enqueue(pieo.Entry{ID: 7, Rank: 42, SendTime: 1000})
+//	e, ok := l.Dequeue(now) // smallest-ranked eligible element
+//
+// Higher layers:
+//
+//   - NewScheduler + a Program (DRR, WFQ, WF2Q, TokenBucket, …) runs the
+//     §3.2 programming framework over per-flow FIFO queues.
+//   - NewHierarchy composes per-node policies into the §4.3 multi-level
+//     scheduler (e.g. per-VM rate limits with per-flow fair queueing).
+//   - NewSim drives any scheduler on a simulated link at nanosecond
+//     granularity.
+//   - RunExperiment regenerates the paper's tables and figures.
+package pieo
+
+import (
+	"pieo/internal/algos"
+	"pieo/internal/clock"
+	"pieo/internal/core"
+	"pieo/internal/experiments"
+	"pieo/internal/flowq"
+	"pieo/internal/hier"
+	"pieo/internal/hwmodel"
+	"pieo/internal/netsim"
+	"pieo/internal/sched"
+	"pieo/internal/wire"
+)
+
+// Core list types (§3.1, §5).
+type (
+	// Time is an opaque monotonic tick; algorithms choose the unit.
+	Time = clock.Time
+	// Entry is one element of a PIEO ordered list.
+	Entry = core.Entry
+	// List is the PIEO ordered list, implemented with the paper's
+	// sublist architecture.
+	List = core.List
+	// ListStats counts hardware work (cycles, SRAM accesses) per list.
+	ListStats = core.Stats
+)
+
+// Predicate sentinels (§5.2): Always encodes an eligibility predicate
+// that is always true, Never one that is always false.
+const (
+	Always = clock.Always
+	Never  = clock.Never
+)
+
+// List errors.
+var (
+	ErrFull      = core.ErrFull
+	ErrDuplicate = core.ErrDuplicate
+)
+
+// NewList creates a PIEO ordered list with capacity n using the paper's
+// √n sublist geometry.
+func NewList(n int) *List { return core.New(n) }
+
+// NewListWithSublistSize creates a PIEO list with an explicit sublist
+// size (geometry ablations).
+func NewListWithSublistSize(n, s int) *List { return core.NewWithSublistSize(n, s) }
+
+// Scheduler framework types (§3.2).
+type (
+	// FlowID identifies a flow (traffic class).
+	FlowID = flowq.FlowID
+	// Packet is a packet in a per-flow FIFO queue.
+	Packet = flowq.Packet
+	// Flow is per-flow scheduling and control-plane state.
+	Flow = sched.Flow
+	// Program is a scheduling algorithm expressed as programming
+	// functions over the framework.
+	Program = sched.Program
+	// Scheduler is a flat single-level PIEO scheduler.
+	Scheduler = sched.Scheduler
+	// TriggerModel selects input- vs output-triggered enqueue.
+	TriggerModel = sched.TriggerModel
+)
+
+// Trigger models (§3.2.1).
+const (
+	OutputTriggered = sched.OutputTriggered
+	InputTriggered  = sched.InputTriggered
+)
+
+// NewScheduler creates a flat scheduler running prog for up to capacity
+// flows on a link of the given rate.
+func NewScheduler(prog *Program, capacity int, linkRateGbps float64) *Scheduler {
+	return sched.New(prog, capacity, linkRateGbps)
+}
+
+// Algorithm catalogue (§4). Each constructor returns a Program for
+// NewScheduler.
+var (
+	// FIFO schedules flows in arrival order (§2.3).
+	FIFO = algos.FIFO
+	// DRR is Deficit Round Robin (§4.1).
+	DRR = algos.DRR
+	// WFQ is Weighted Fair Queuing (§4.1).
+	WFQ = algos.WFQ
+	// WF2Q is Worst-case Fair Weighted Fair Queuing, WF²Q+ (§4.1) — the
+	// algorithm PIFO cannot express.
+	WF2Q = algos.WF2Q
+	// TokenBucket is the classic non-work-conserving rate limiter (§4.2).
+	TokenBucket = algos.TokenBucket
+	// RCSP is Rate-Controlled Static-Priority queuing (§4.2).
+	RCSP = algos.RCSP
+	// StrictPriority schedules by static priority (§4.4, §4.5).
+	StrictPriority = algos.StrictPriority
+	// SJF is Shortest Job First (§4.5).
+	SJF = algos.SJF
+	// SRTF is Shortest Remaining Time First (§4.5).
+	SRTF = algos.SRTF
+	// EDF is Earliest Deadline First (§4.5).
+	EDF = algos.EDF
+	// LSTF is Least Slack Time First (§4.5).
+	LSTF = algos.LSTF
+	// Pacer releases each packet at its precomputed time (§1).
+	Pacer = algos.Pacer
+
+	// AgeStarvedFlows is the §4.4 starvation-avoidance alarm.
+	AgeStarvedFlows = algos.AgeStarvedFlows
+	// PauseFlow blocks a flow on asynchronous network feedback (§4.4).
+	PauseFlow = algos.Pause
+	// ResumeFlow unblocks a paused flow.
+	ResumeFlow = algos.Resume
+)
+
+// Hierarchical scheduling (§4.3).
+type (
+	// Hierarchy is an n-level tree of PIEO schedulers.
+	Hierarchy = hier.Hierarchy
+	// Node is a non-leaf vertex whose Policy schedules its children.
+	Node = hier.Node
+	// ChildState is the per-child control-plane and scheduling state.
+	ChildState = hier.Child
+	// Policy is a per-node scheduling algorithm.
+	Policy = hier.Policy
+)
+
+// NewHierarchy creates a hierarchy whose root schedules its children
+// with rootPolicy. Add nodes/flows, then call Build before traffic.
+func NewHierarchy(linkRateGbps float64, rootPolicy *Policy) *Hierarchy {
+	return hier.New(linkRateGbps, rootPolicy)
+}
+
+// Per-node policies for hierarchies.
+var (
+	// RoundRobinPolicy rotates through children.
+	RoundRobinPolicy = hier.RoundRobin
+	// StrictPriorityPolicy schedules children by static priority.
+	StrictPriorityPolicy = hier.StrictPriority
+	// WFQPolicy is per-node Weighted Fair Queuing.
+	WFQPolicy = hier.WFQ
+	// WF2QPolicy is per-node WF²Q+.
+	WF2QPolicy = hier.WF2Q
+	// TokenBucketPolicy rate-limits each child independently.
+	TokenBucketPolicy = hier.TokenBucket
+)
+
+// Simulation substrate.
+type (
+	// Link models a fixed-rate transmit link.
+	Link = netsim.Link
+	// Sim is the discrete-event simulation loop.
+	Sim = netsim.Sim
+	// SimScheduler is the contract schedulers offer the simulator.
+	SimScheduler = netsim.Scheduler
+)
+
+// NewSim creates a simulation over the given link and scheduler.
+func NewSim(link Link, s SimScheduler) *Sim { return netsim.New(link, s) }
+
+// Hardware cost model (§5, §6.1-6.2).
+type (
+	// Device is a hardware resource budget (e.g. StratixV).
+	Device = hwmodel.Device
+	// Geometry is a PIEO sublist shape.
+	Geometry = hwmodel.Geometry
+	// Resources is an estimated hardware footprint.
+	Resources = hwmodel.Resources
+)
+
+// StratixV is the paper's prototype FPGA.
+var StratixV = hwmodel.StratixV
+
+// Hardware model entry points.
+var (
+	// PIEOGeometry returns the √n geometry for capacity n.
+	PIEOGeometry = hwmodel.PIEOGeometry
+	// PIEOResources estimates a PIEO instance's hardware footprint.
+	PIEOResources = hwmodel.PIEOResources
+	// PIFOResources estimates the PIFO baseline's footprint.
+	PIFOResources = hwmodel.PIFOResources
+	// PIEOClockMHz estimates the synthesized clock rate.
+	PIEOClockMHz = hwmodel.PIEOClockMHz
+)
+
+// Wire-facing edge (Fig 1's ingress): frame decoding and flow
+// classification.
+type (
+	// FiveTuple identifies a flow on the wire.
+	FiveTuple = wire.FiveTuple
+	// FrameDecoder decodes Ethernet/IPv4/{TCP,UDP} frames without
+	// per-packet allocation.
+	FrameDecoder = wire.Decoder
+	// Classifier assigns stable FlowIDs to 5-tuples.
+	Classifier = wire.Classifier
+)
+
+// NewClassifier creates a flow classifier admitting up to maxFlows flows.
+func NewClassifier(maxFlows int) *Classifier { return wire.NewClassifier(maxFlows) }
+
+// BuildFrame serializes a minimal Ethernet/IPv4/{TCP,UDP} frame, for
+// tests and traffic generators.
+var BuildFrame = wire.BuildFrame
+
+// ExperimentTable is one reproduced figure or table.
+type ExperimentTable = experiments.Table
+
+// RunExperiment regenerates a paper table/figure by id (fig2, fig8,
+// fig9, fig10, fig11, fig12, rate, scale, deviation, ablation).
+func RunExperiment(id string) (*ExperimentTable, error) { return experiments.Run(id) }
+
+// ExperimentIDs lists the available experiment ids.
+func ExperimentIDs() []string { return experiments.IDs() }

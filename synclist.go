@@ -1,0 +1,83 @@
+package pieo
+
+import (
+	"sync"
+
+	"pieo/internal/clock"
+	"pieo/internal/core"
+)
+
+// SyncList is a mutex-guarded PIEO list for callers that enqueue from
+// multiple goroutines (e.g. per-connection producers feeding one
+// transmit scheduler). The hardware design — and the single-threaded
+// List — processes one operation per four cycles anyway, so a single
+// lock mirrors the real serialization point rather than hiding it;
+// profile before assuming the lock is the bottleneck.
+type SyncList struct {
+	mu sync.Mutex
+	l  *core.List
+}
+
+// NewSyncList creates a concurrency-safe PIEO list with capacity n.
+func NewSyncList(n int) *SyncList {
+	return &SyncList{l: core.New(n)}
+}
+
+// Enqueue inserts e at its rank position.
+func (s *SyncList) Enqueue(e Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.Enqueue(e)
+}
+
+// Dequeue extracts the smallest-ranked eligible element at time now.
+func (s *SyncList) Dequeue(now Time) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.Dequeue(now)
+}
+
+// DequeueFlow extracts a specific element by id.
+func (s *SyncList) DequeueFlow(id uint32) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.DequeueFlow(id)
+}
+
+// DequeueRange extracts the smallest-ranked eligible element whose ID
+// lies in [lo, hi].
+func (s *SyncList) DequeueRange(now Time, lo, hi uint32) (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.DequeueRange(now, lo, hi)
+}
+
+// Len returns the number of queued elements.
+func (s *SyncList) Len() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.Len()
+}
+
+// MinSendTime returns the earliest eligibility time across the list.
+func (s *SyncList) MinSendTime() (Time, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.MinSendTime()
+}
+
+// UpdateRank atomically re-ranks the element with the given id — the
+// dequeue(f)+enqueue(f) pattern under one critical section, so
+// concurrent readers never observe the element missing.
+func (s *SyncList) UpdateRank(id uint32, rank uint64, sendTime clock.Time) bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.UpdateRank(id, rank, sendTime)
+}
+
+// Snapshot returns the rank-ordered contents.
+func (s *SyncList) Snapshot() []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.l.Snapshot()
+}
