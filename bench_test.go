@@ -8,8 +8,10 @@ package pieo
 import (
 	"fmt"
 	"math/rand"
+	"runtime"
 	"strconv"
 	"strings"
+	"sync/atomic"
 	"testing"
 
 	"pieo/internal/algos"
@@ -96,6 +98,73 @@ func BenchmarkPIEODequeueRange(b *testing.B) {
 			_ = l.Enqueue(e)
 		}
 	}
+}
+
+// --- Contended concurrent backends ---
+//
+// benchContended drives a concurrency-safe backend with 8 producer
+// goroutines (b.SetParallelism(8) forces the count regardless of
+// GOMAXPROCS) racing one consumer goroutine draining continuously —
+// the per-connection-producers/one-transmit-scheduler shape SyncList's
+// doc comment describes. Reported ns/op is the producer-side enqueue
+// cost under contention; ErrFull is backpressure (the consumer is
+// behind), answered by yielding and retrying.
+func benchContended(b *testing.B, be Backend) {
+	var ids atomic.Uint32
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { // consumer
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, ok := be.Dequeue(0); !ok {
+				runtime.Gosched()
+			}
+		}
+	}()
+	b.SetParallelism(8)
+	b.ResetTimer() // constructing a large backend is setup, not throughput
+	b.RunParallel(func(pb *testing.PB) {
+		for pb.Next() {
+			id := ids.Add(1)
+			for {
+				// Monotone ranks model the common fair-queueing shape
+				// (virtual finish times grow and rarely collide), so the
+				// dequeue side exercises rank ordering, not a pathological
+				// all-ranks-tied FIFO storm.
+				err := be.Enqueue(Entry{ID: id, Rank: uint64(id), SendTime: Always})
+				if err == nil {
+					break
+				}
+				if err == ErrFull {
+					runtime.Gosched()
+					continue
+				}
+				b.Error(err)
+				return
+			}
+		}
+	})
+	close(stop)
+	<-done
+}
+
+// Capacity 1<<19 puts the backends deep in the regime the sharded engine
+// exists for (√n sublist scans and shifts dominating the mutex hold
+// time); 32 shards keeps per-shard geometry at √(n/K) ≈ 128. Steady
+// state holds the list at capacity, so run with a benchtime well above
+// the fill transient (b.N >= ~4x capacity) when comparing backends —
+// EXPERIMENTS.md records reference numbers at -benchtime 10s.
+func BenchmarkSyncListContended(b *testing.B) {
+	benchContended(b, NewSyncList(1<<19))
+}
+
+func BenchmarkShardedContended(b *testing.B) {
+	benchContended(b, NewShardedList(1<<19, 32))
 }
 
 func BenchmarkPIFOBaselineEnqueueDequeue(b *testing.B) {

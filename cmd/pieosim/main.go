@@ -19,11 +19,14 @@ import (
 	"strings"
 
 	"pieo/internal/algos"
+	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/flowq"
 	"pieo/internal/netsim"
 	"pieo/internal/pktgen"
 	"pieo/internal/sched"
+	_ "pieo/internal/refmodel" // register the "ref" backend
+	_ "pieo/internal/shard"    // register the "sharded" backend
 	"pieo/internal/stats"
 )
 
@@ -39,6 +42,7 @@ func main() {
 		weights  = flag.String("weights", "", "comma-separated per-flow weights (fair queueing)")
 		rate     = flag.Float64("rate", 1, "per-flow rate limit in Gbps (tokenbucket)")
 		seed     = flag.Int64("seed", 1, "workload random seed")
+		backName = flag.String("backend", "core", "ordered-list backend: "+strings.Join(backend.Names(), "|"))
 	)
 	flag.Parse()
 
@@ -47,7 +51,12 @@ func main() {
 		fmt.Fprintln(os.Stderr, "pieosim:", err)
 		os.Exit(1)
 	}
-	s := sched.New(prog, *flows+1, *link)
+	be, err := backend.New(*backName, *flows+1)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "pieosim:", err)
+		os.Exit(1)
+	}
+	s := sched.NewOn(prog, be, *link)
 
 	// Control plane: configure the flows.
 	for i := 0; i < *flows; i++ {
@@ -139,8 +148,13 @@ func main() {
 		fmt.Printf("queueing delay ns: p50=%.0f p99=%.0f max=%.0f\n", sum.P50, sum.P99, sum.Max)
 	}
 	ls := s.List.Stats()
-	fmt.Printf("PIEO list: %d enq, %d deq, %d cycles, %d sublist reads, %d writes\n",
-		ls.Enqueues, ls.Dequeues, ls.Cycles, ls.SublistReads, ls.SublistWrites)
+	fmt.Printf("backend %q: %d enq, %d deq (%d empty), %d flow-deq, %d range-deq\n",
+		*backName, ls.Enqueues, ls.Dequeues, ls.EmptyDequeues, ls.FlowDequeues, ls.RangeDequeues)
+	if hw, ok := s.List.(backend.HardwareModeled); ok {
+		hs := hw.HardwareStats()
+		fmt.Printf("hardware model: %d cycles, %d sublist reads, %d writes\n",
+			hs.Cycles, hs.SublistReads, hs.SublistWrites)
+	}
 }
 
 func program(algo string) (*sched.Program, error) {

@@ -1,0 +1,107 @@
+package backend
+
+import (
+	"pieo/internal/approx"
+	"pieo/internal/clock"
+	"pieo/internal/core"
+)
+
+// ApproxFIFO adapts the multi-priority FIFO (§2.3's 802.1Q-style banded
+// structure) to the Backend interface. It is deliberately APPROXIMATE:
+// rank order is quantized to bands (elements within a band dequeue in
+// FIFO order regardless of rank) and an ineligible band head blocks its
+// band. It exists so the experiment harness can quantify the paper's
+// "weaker performance guarantees" claim on live scheduler workloads, not
+// to pass exact differential tests — those exclude it by design.
+type ApproxFIFO struct {
+	m        *approx.MultiPriorityFIFO
+	capacity int
+	present  map[uint32]bool
+	stats    Stats
+}
+
+// DefaultApproxBands is the band count the registry constructor uses —
+// the 64-band point the §2.3 study reports.
+const DefaultApproxBands = 64
+
+// NewApproxFIFO creates a banded-FIFO backend with capacity n, k bands,
+// and ranks quantized over [0, rankSpace).
+func NewApproxFIFO(n, k int, rankSpace uint64) *ApproxFIFO {
+	return &ApproxFIFO{
+		m:        approx.NewMultiPriorityFIFO(k, rankSpace),
+		capacity: n,
+		present:  make(map[uint32]bool, n),
+	}
+}
+
+// Enqueue implements Backend.
+func (a *ApproxFIFO) Enqueue(e core.Entry) error {
+	if a.m.Len() == a.capacity {
+		return core.ErrFull
+	}
+	if a.present[e.ID] {
+		return core.ErrDuplicate
+	}
+	a.m.Enqueue(e)
+	a.present[e.ID] = true
+	a.stats.Enqueues++
+	return nil
+}
+
+// Dequeue implements Backend with band-quantized priority and per-band
+// head blocking.
+func (a *ApproxFIFO) Dequeue(now clock.Time) (core.Entry, bool) {
+	e, ok := a.m.DequeueEligible(now)
+	if !ok {
+		a.stats.EmptyDequeues++
+		return core.Entry{}, false
+	}
+	delete(a.present, e.ID)
+	a.stats.Dequeues++
+	return e, true
+}
+
+// DequeueFlow implements Backend via the banded structure's software
+// extraction shim.
+func (a *ApproxFIFO) DequeueFlow(id uint32) (core.Entry, bool) {
+	e, ok := a.m.Remove(id)
+	if !ok {
+		return core.Entry{}, false
+	}
+	delete(a.present, e.ID)
+	a.stats.FlowDequeues++
+	return e, true
+}
+
+// DequeueRange implements Backend in band-then-FIFO order.
+func (a *ApproxFIFO) DequeueRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
+	e, ok := a.m.DequeueRangeEligible(now, lo, hi)
+	if !ok {
+		a.stats.EmptyDequeues++
+		return core.Entry{}, false
+	}
+	delete(a.present, e.ID)
+	a.stats.RangeDequeues++
+	return e, true
+}
+
+// Len implements Backend.
+func (a *ApproxFIFO) Len() int { return a.m.Len() }
+
+// Contains implements Backend.
+func (a *ApproxFIFO) Contains(id uint32) bool { return a.present[id] }
+
+// MinSendTime implements Backend (O(n): bands keep no time metadata).
+func (a *ApproxFIFO) MinSendTime() (clock.Time, bool) { return a.m.MinSendTime() }
+
+// Snapshot implements Backend in band-then-FIFO (approximate rank) order.
+func (a *ApproxFIFO) Snapshot() []core.Entry { return a.m.Snapshot() }
+
+// Stats implements Backend.
+func (a *ApproxFIFO) Stats() Stats { return a.stats }
+
+func init() {
+	Register("approx", func(n int) Backend {
+		return NewApproxFIFO(n, DefaultApproxBands, 1<<16)
+	})
+}

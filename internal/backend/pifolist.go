@@ -1,0 +1,192 @@
+package backend
+
+import (
+	"pieo/internal/clock"
+	"pieo/internal/core"
+	"pieo/internal/pifo"
+)
+
+// PIFOList adapts the PIFO baseline (Sivaraman et al., §2.3) to the
+// Backend interface so the same schedulers, tests, and tools can run over
+// it and the deviation from true PIEO semantics becomes observable rather
+// than structural. The adaptation is deliberately honest about what PIFO
+// hardware can and cannot do:
+//
+//   - Enqueue is native: rank-ordered insert with FIFO ties.
+//   - Dequeue is head-only. An ineligible head BLOCKS the whole list —
+//     PIFO cannot extract the smallest-ranked *eligible* element, which
+//     is exactly the limitation §2 motivates PIEO with. With all
+//     send_times Always (work-conserving programs) the adapter is exact.
+//   - DequeueFlow and DequeueRange have no hardware analogue; the adapter
+//     emulates them in software by draining and rebuilding the flip-flop
+//     list (O(n) per call, counted in RebuildShifts). They exist so the
+//     §3.2 framework's alarm path still functions, not as a claim that
+//     PIFO supports it.
+//
+// Send times are tracked in a side table because pifo.Entry has no
+// eligibility channel at all.
+type PIFOList struct {
+	l     *pifo.List
+	sends map[uint32]clock.Time
+	stats Stats
+
+	// RebuildShifts counts elements moved by software-emulated
+	// DequeueFlow/DequeueRange rebuilds — work a real PIFO cannot do.
+	RebuildShifts uint64
+}
+
+// NewPIFOList creates a PIFO backend with capacity n.
+func NewPIFOList(n int) *PIFOList {
+	return &PIFOList{l: pifo.New(n), sends: make(map[uint32]clock.Time, n)}
+}
+
+// Enqueue implements Backend.
+func (p *PIFOList) Enqueue(e core.Entry) error {
+	if p.l.Len() == p.l.Capacity() {
+		return core.ErrFull
+	}
+	if _, dup := p.sends[e.ID]; dup {
+		return core.ErrDuplicate
+	}
+	if err := p.l.Enqueue(pifo.Entry{ID: e.ID, Rank: e.Rank}); err != nil {
+		return core.ErrFull
+	}
+	p.sends[e.ID] = e.SendTime
+	p.stats.Enqueues++
+	return nil
+}
+
+// Dequeue implements Backend with PIFO's head-only semantics: if the
+// smallest-ranked element is not eligible at now, nothing is returned even
+// when a lower-priority eligible element exists behind it.
+func (p *PIFOList) Dequeue(now clock.Time) (core.Entry, bool) {
+	head, ok := p.l.Peek()
+	if !ok || p.sends[head.ID] > now {
+		p.stats.EmptyDequeues++
+		return core.Entry{}, false
+	}
+	e, _ := p.l.Dequeue()
+	out := core.Entry{ID: e.ID, Rank: e.Rank, SendTime: p.sends[e.ID]}
+	delete(p.sends, e.ID)
+	p.stats.Dequeues++
+	return out, true
+}
+
+// Peek implements Peeker (head-only, like Dequeue).
+func (p *PIFOList) Peek(now clock.Time) (core.Entry, bool) {
+	head, ok := p.l.Peek()
+	if !ok || p.sends[head.ID] > now {
+		return core.Entry{}, false
+	}
+	return core.Entry{ID: head.ID, Rank: head.Rank, SendTime: p.sends[head.ID]}, true
+}
+
+// PeekRange implements Peeker via the same software scan DequeueRange
+// uses, without mutating the list.
+func (p *PIFOList) PeekRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
+	for _, e := range p.l.Snapshot() {
+		if e.ID >= lo && e.ID <= hi && p.sends[e.ID] <= now {
+			return core.Entry{ID: e.ID, Rank: e.Rank, SendTime: p.sends[e.ID]}, true
+		}
+	}
+	return core.Entry{}, false
+}
+
+// DequeueFlow implements Backend by software rebuild (see type comment).
+func (p *PIFOList) DequeueFlow(id uint32) (core.Entry, bool) {
+	if _, present := p.sends[id]; !present {
+		return core.Entry{}, false
+	}
+	out, ok := p.extract(func(e pifo.Entry) bool { return e.ID == id })
+	if ok {
+		p.stats.FlowDequeues++
+	}
+	return out, ok
+}
+
+// DequeueRange implements Backend by software rebuild (see type comment).
+func (p *PIFOList) DequeueRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
+	out, ok := p.extract(func(e pifo.Entry) bool {
+		return e.ID >= lo && e.ID <= hi && p.sends[e.ID] <= now
+	})
+	if ok {
+		p.stats.RangeDequeues++
+	} else {
+		p.stats.EmptyDequeues++
+	}
+	return out, ok
+}
+
+// extract removes the first (smallest-ranked) element matching want by
+// draining the PIFO and re-inserting everything else. Re-insertion happens
+// in the drained (rank, FIFO) order, and pifo.Enqueue places equal ranks
+// after existing ones, so the relative FIFO order of survivors is
+// preserved.
+func (p *PIFOList) extract(want func(pifo.Entry) bool) (core.Entry, bool) {
+	drained := p.l.Snapshot()
+	found := -1
+	for i, e := range drained {
+		if want(e) {
+			found = i
+			break
+		}
+	}
+	if found == -1 {
+		return core.Entry{}, false
+	}
+	for range drained {
+		p.l.Dequeue()
+	}
+	for i, e := range drained {
+		if i == found {
+			continue
+		}
+		if err := p.l.Enqueue(e); err != nil {
+			panic("backend: pifo rebuild overflowed its own capacity")
+		}
+	}
+	p.RebuildShifts += uint64(len(drained))
+	out := core.Entry{ID: drained[found].ID, Rank: drained[found].Rank, SendTime: p.sends[drained[found].ID]}
+	delete(p.sends, drained[found].ID)
+	return out, true
+}
+
+// Len implements Backend.
+func (p *PIFOList) Len() int { return p.l.Len() }
+
+// Contains implements Backend.
+func (p *PIFOList) Contains(id uint32) bool {
+	_, ok := p.sends[id]
+	return ok
+}
+
+// MinSendTime implements Backend with an O(n) scan of the side table.
+func (p *PIFOList) MinSendTime() (clock.Time, bool) {
+	if len(p.sends) == 0 {
+		return 0, false
+	}
+	minT := clock.Never
+	for _, t := range p.sends {
+		if t < minT {
+			minT = t
+		}
+	}
+	return minT, true
+}
+
+// Snapshot implements Backend.
+func (p *PIFOList) Snapshot() []core.Entry {
+	snap := p.l.Snapshot()
+	out := make([]core.Entry, len(snap))
+	for i, e := range snap {
+		out[i] = core.Entry{ID: e.ID, Rank: e.Rank, SendTime: p.sends[e.ID]}
+	}
+	return out
+}
+
+// Stats implements Backend.
+func (p *PIFOList) Stats() Stats { return p.stats }
+
+func init() {
+	Register("pifo", func(n int) Backend { return NewPIFOList(n) })
+}

@@ -1,13 +1,16 @@
 package core_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 	"testing/quick"
 
+	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/core"
 	"pieo/internal/refmodel"
+	"pieo/internal/shard"
 )
 
 // opKind enumerates the randomized operations of the differential fuzzer.
@@ -23,13 +26,35 @@ const (
 	numOpKinds
 )
 
+// exactBackends enumerates the backends that promise bit-for-bit §3.1
+// semantics under single-threaded use, so one harness can differentially
+// test all of them against the flat reference model: the paper-exact
+// sublist list, and the sharded engine at K=1 (single shard, pure
+// pass-through) and K=8 (hash partitioning + tournament dequeue, which
+// must still be quiescent-exact).
+func exactBackends(capacity int) map[string]backend.Backend {
+	return map[string]backend.Backend{
+		"core":    backend.NewCoreList(capacity),
+		"shard-1": shard.New(capacity, 1),
+		"shard-8": shard.New(capacity, 8),
+	}
+}
+
 // runDifferential drives the sublist implementation and the flat
 // reference model with an identical random operation stream and fails on
 // the first divergence or invariant violation.
 func runDifferential(t *testing.T, seed int64, capacity, steps int, rankSpace uint64, timeSpace int) {
 	t.Helper()
+	runDifferentialOn(t, backend.NewCoreList(capacity), seed, capacity, steps, rankSpace, timeSpace, true)
+}
+
+// runDifferentialOn is runDifferential over any exact Backend. allowNever
+// controls whether a sixteenth of the enqueues carry an always-false
+// predicate; disable it for backends (PIFO) that are exact only when
+// every element is eligible.
+func runDifferentialOn(t *testing.T, impl backend.Backend, seed int64, capacity, steps int, rankSpace uint64, timeSpace int, allowNever bool) {
+	t.Helper()
 	rng := rand.New(rand.NewSource(seed))
-	impl := core.New(capacity)
 	ref := refmodel.New(capacity)
 	nextID := uint32(0)
 
@@ -41,7 +66,7 @@ func runDifferential(t *testing.T, seed int64, capacity, steps int, rankSpace ui
 				Rank:     uint64(rng.Int63n(int64(rankSpace))),
 				SendTime: clock.Time(rng.Intn(timeSpace)),
 			}
-			if rng.Intn(16) == 0 {
+			if rng.Intn(16) == 0 && allowNever {
 				e.SendTime = clock.Never
 			}
 			nextID++
@@ -85,7 +110,11 @@ func runDifferential(t *testing.T, seed int64, capacity, steps int, rankSpace ui
 			}
 		case opPeek:
 			now := clock.Time(rng.Intn(timeSpace))
-			got, gotOK := impl.Peek(now)
+			p, canPeek := impl.(backend.Peeker)
+			if !canPeek {
+				break
+			}
+			got, gotOK := p.Peek(now)
 			want, wantOK := ref.Peek(now)
 			if gotOK != wantOK || got != want {
 				t.Fatalf("seed %d step %d: Peek(%v) = %v,%v, ref %v,%v", seed, step, now, got, gotOK, want, wantOK)
@@ -94,7 +123,7 @@ func runDifferential(t *testing.T, seed int64, capacity, steps int, rankSpace ui
 		if impl.Len() != ref.Len() {
 			t.Fatalf("seed %d step %d: Len = %d, ref %d", seed, step, impl.Len(), ref.Len())
 		}
-		if err := impl.CheckInvariants(); err != nil {
+		if err := backend.CheckInvariants(impl); err != nil {
 			t.Fatalf("seed %d step %d: %v", seed, step, err)
 		}
 	}
@@ -142,6 +171,45 @@ func TestDifferentialAlwaysEligible(t *testing.T) {
 	// behavior (the §4.5 PIFO-emulation mode).
 	for seed := int64(300); seed < 306; seed++ {
 		runDifferential(t, seed, 128, 4000, 1<<12, 1)
+	}
+}
+
+// TestDifferentialBackends replays the randomized operation stream over
+// every exact backend — the paper list plus the sharded engine at K=1
+// and K=8. The sharded runs are the quiescent-exactness contract of
+// internal/shard made executable: under single-threaded use the
+// tournament dequeue, cross-shard FIFO sequencing, and capacity
+// accounting must be indistinguishable from one flat list.
+func TestDifferentialBackends(t *testing.T) {
+	configs := []struct {
+		capacity, steps int
+		rankSpace       uint64
+		timeSpace       int
+	}{
+		{9, 2000, 8, 8},       // tiny: constant full/empty pressure
+		{64, 3000, 2, 4},      // narrow ranks: FIFO tie-breaks cross shards
+		{256, 4000, 1 << 16, 64},
+	}
+	for _, cfg := range configs {
+		for seed := int64(0); seed < 4; seed++ {
+			for name, impl := range exactBackends(cfg.capacity) {
+				impl, seed, cfg := impl, seed, cfg
+				t.Run(fmt.Sprintf("%s/cap%d/seed%d", name, cfg.capacity, seed), func(t *testing.T) {
+					runDifferentialOn(t, impl, seed, cfg.capacity, cfg.steps, cfg.rankSpace, cfg.timeSpace, true)
+				})
+			}
+		}
+	}
+}
+
+// TestDifferentialPIFOAlwaysEligible pins down where the PIFO baseline is
+// exact: with every send_time Always, head-only dequeue coincides with
+// PIEO's smallest-eligible dequeue, so the full operation stream must
+// match the reference bit for bit. (With heterogeneous send times it
+// diverges by design — that deviation is measured, not tested away.)
+func TestDifferentialPIFOAlwaysEligible(t *testing.T) {
+	for seed := int64(500); seed < 506; seed++ {
+		runDifferentialOn(t, backend.NewPIFOList(96), seed, 96, 3000, 1<<10, 1, false)
 	}
 }
 

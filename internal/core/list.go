@@ -151,8 +151,22 @@ func New(n int) *List {
 // sublists so the worst-case full/partial alternation can never exhaust
 // the empty partition at the capacity boundary.
 func NewWithSublistSize(n, s int) *List {
+	return NewWithOccupancyHint(n, s, n)
+}
+
+// NewWithOccupancyHint is NewWithSublistSize with the flow map pre-sized
+// for an expected occupancy below the hard capacity. A sharded engine
+// provisions every shard with the full shared capacity for safety (hash
+// partitioning guarantees no balance) but expects ~capacity/K residents;
+// sizing the map table for the expectation keeps its probes
+// cache-resident, and the map still grows transparently if a shard ever
+// exceeds the hint.
+func NewWithOccupancyHint(n, s, hint int) *List {
 	if n <= 0 || s <= 0 {
 		panic(fmt.Sprintf("pieo: invalid geometry n=%d s=%d", n, s))
+	}
+	if hint < 0 || hint > n {
+		hint = n
 	}
 	num := 2*((n+s-1)/s) + 2
 	l := &List{
@@ -161,13 +175,14 @@ func NewWithSublistSize(n, s int) *List {
 		sublists:    make([]sublist, num),
 		order:       make([]ptr, num),
 		posOf:       make([]int, num),
-		where:       make(map[uint32]int, n),
+		where:       make(map[uint32]int, hint),
 	}
 	for i := range l.sublists {
-		l.sublists[i] = sublist{
-			entries: make([]element, 0, s+1),
-			elig:    make([]clock.Time, 0, s+1),
-		}
+		// Sublist storage is allocated on first use (insertElem): the 2×
+		// Invariant-1 provisioning means at least half the sublists are
+		// empty at any moment, and a sharded engine over-provisions each
+		// shard by another K×, so eager allocation would mostly buy
+		// untouched memory.
 		l.order[i] = ptr{sublistID: i, smallestSendTime: clock.Never}
 		l.posOf[i] = i
 	}
@@ -207,7 +222,30 @@ func (l *List) Enqueue(e Entry) error {
 		return ErrDuplicate
 	}
 	l.seq++
-	elem := element{Entry: e, seq: l.seq}
+	return l.enqueue(element{Entry: e, seq: l.seq})
+}
+
+// EnqueueSeq inserts e with a caller-supplied FIFO tie-break sequence
+// instead of the list's internal counter. Sharded engines use it to stamp
+// a single global arrival order across many lists, so equal-rank elements
+// on different shards still dequeue in true FIFO order without any
+// per-element bookkeeping outside the lists themselves. A given list must
+// be driven either through Enqueue or through EnqueueSeq, not a mix: the
+// internal counter and an external one would interleave arbitrarily.
+func (l *List) EnqueueSeq(e Entry, seq uint64) error {
+	if l.size == l.capacity {
+		return ErrFull
+	}
+	if _, dup := l.where[e.ID]; dup {
+		return ErrDuplicate
+	}
+	return l.enqueue(element{Entry: e, seq: seq})
+}
+
+// enqueue is the §5.2 insert datapath shared by Enqueue and EnqueueSeq.
+// Capacity and duplicate checks have already passed.
+func (l *List) enqueue(elem element) error {
+	e := elem.Entry
 
 	l.stats.Enqueues++
 	l.stats.Cycles += 4
@@ -335,6 +373,14 @@ func (l *List) Dequeue(now clock.Time) (Entry, bool) {
 // Peek returns the element Dequeue would extract at time now, without
 // removing it.
 func (l *List) Peek(now clock.Time) (Entry, bool) {
+	e, _, ok := l.PeekSeq(now)
+	return e, ok
+}
+
+// PeekSeq is Peek plus the element's FIFO sequence number, which a
+// sharded engine's dequeue tournament compares to break equal-rank ties
+// across shards.
+func (l *List) PeekSeq(now clock.Time) (Entry, uint64, bool) {
 	for i := 0; i < l.active; i++ {
 		if now < l.order[i].smallestSendTime {
 			continue
@@ -342,12 +388,12 @@ func (l *List) Peek(now clock.Time) (Entry, bool) {
 		sl := &l.sublists[l.order[i].sublistID]
 		for _, e := range sl.entries {
 			if e.SendTime <= now {
-				return e.Entry, true
+				return e.Entry, e.seq, true
 			}
 		}
 		panic(fmt.Sprintf("pieo: sublist %d metadata/content mismatch at t=%v", l.order[i].sublistID, now))
 	}
-	return Entry{}, false
+	return Entry{}, 0, false
 }
 
 // DequeueFlow extracts the element with the given id regardless of
@@ -414,6 +460,13 @@ func (l *List) DequeueRange(now clock.Time, lo, hi uint32) (Entry, bool) {
 // PeekRange returns the element DequeueRange would extract, without
 // removing it.
 func (l *List) PeekRange(now clock.Time, lo, hi uint32) (Entry, bool) {
+	e, _, ok := l.PeekRangeSeq(now, lo, hi)
+	return e, ok
+}
+
+// PeekRangeSeq is PeekRange plus the element's FIFO sequence number (see
+// PeekSeq).
+func (l *List) PeekRangeSeq(now clock.Time, lo, hi uint32) (Entry, uint64, bool) {
 	for pos := 0; pos < l.active; pos++ {
 		if now < l.order[pos].smallestSendTime {
 			continue
@@ -421,11 +474,23 @@ func (l *List) PeekRange(now clock.Time, lo, hi uint32) (Entry, bool) {
 		sl := &l.sublists[l.order[pos].sublistID]
 		for _, e := range sl.entries {
 			if e.SendTime <= now && e.ID >= lo && e.ID <= hi {
-				return e.Entry, true
+				return e.Entry, e.seq, true
 			}
 		}
 	}
-	return Entry{}, false
+	return Entry{}, 0, false
+}
+
+// MinRank returns the smallest rank across all queued elements, in O(1)
+// from the Ordered-Sublist-Array: the first active sublist holds the head
+// of the global rank order, and its smallest rank is cached in its
+// pointer-array entry. Sharded engines use it as the per-shard summary
+// the dequeue tournament compares. ok is false when the list is empty.
+func (l *List) MinRank() (uint64, bool) {
+	if l.active == 0 {
+		return 0, false
+	}
+	return l.order[0].smallestRank, true
 }
 
 // MinSendTime returns the smallest send_time across all queued elements —
@@ -513,6 +578,12 @@ func (l *List) extractAt(pos int, sl *sublist, idx int) {
 // insertElem places elem at its (rank, seq) position in the rank-ordered
 // entries and its send_time in the eligibility multiset.
 func (l *List) insertElem(sl *sublist, elem element) {
+	if cap(sl.entries) == 0 {
+		// First use of this sublist: size both arrays for the full S+1
+		// transient (insert-then-split) so they never regrow.
+		sl.entries = make([]element, 0, l.sublistSize+1)
+		sl.elig = make([]clock.Time, 0, l.sublistSize+1)
+	}
 	idx := len(sl.entries)
 	for i, e := range sl.entries {
 		if elem.less(e) {
@@ -611,6 +682,21 @@ func (l *List) Snapshot() []Entry {
 		}
 	}
 	return out
+}
+
+// SnapshotWithSeq is Snapshot plus each entry's FIFO sequence number, so
+// a sharded engine can merge per-shard snapshots into the global
+// (rank, FIFO) order.
+func (l *List) SnapshotWithSeq() ([]Entry, []uint64) {
+	out := make([]Entry, 0, l.size)
+	seqs := make([]uint64, 0, l.size)
+	for i := 0; i < l.active; i++ {
+		for _, e := range l.sublists[l.order[i].sublistID].entries {
+			out = append(out, e.Entry)
+			seqs = append(seqs, e.seq)
+		}
+	}
+	return out, seqs
 }
 
 // CheckInvariants validates the complete §5 data-structure contract:

@@ -15,24 +15,32 @@ package dict
 import (
 	"fmt"
 
+	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/core"
 )
 
 // Dict is a PIEO-backed ordered dictionary.
 type Dict[V any] struct {
-	list   *core.List
+	list   backend.RankRanger
 	values map[uint32]V      // element id -> value
 	ids    map[uint64]uint32 // key -> element id
 	nextID uint32
 }
 
-// New creates a dictionary holding up to capacity pairs.
+// New creates a dictionary holding up to capacity pairs over the
+// paper-exact list backend.
 func New[V any](capacity int) *Dict[V] {
+	return NewOn[V](backend.NewCoreList(capacity))
+}
+
+// NewOn creates a dictionary over any backend that supports rank-range
+// queries. Capacity is the backend's.
+func NewOn[V any](list backend.RankRanger) *Dict[V] {
 	return &Dict[V]{
-		list:   core.New(capacity),
-		values: make(map[uint32]V, capacity),
-		ids:    make(map[uint64]uint32, capacity),
+		list:   list,
+		values: make(map[uint32]V),
+		ids:    make(map[uint64]uint32),
 	}
 }
 
@@ -153,5 +161,14 @@ func (d *Dict[V]) Keys() []uint64 {
 	return keys
 }
 
-// Stats exposes the underlying list's hardware-model counters.
-func (d *Dict[V]) Stats() core.Stats { return d.list.Stats() }
+// Stats exposes the underlying list's operation counters.
+func (d *Dict[V]) Stats() backend.Stats { return d.list.Stats() }
+
+// HardwareStats exposes the §5 datapath counters when the backend models
+// a hardware datapath, and zeroes otherwise.
+func (d *Dict[V]) HardwareStats() core.Stats {
+	if hw, ok := d.list.(backend.HardwareModeled); ok {
+		return hw.HardwareStats()
+	}
+	return core.Stats{}
+}

@@ -5,6 +5,7 @@ import (
 	"math/rand"
 	"testing"
 
+	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/flowq"
 )
@@ -74,7 +75,7 @@ func TestRandomTopologyConservation(t *testing.T) {
 			}
 			transmitted++
 			for d := 0; d < h.Levels(); d++ {
-				if err := h.Level(d).CheckInvariants(); err != nil {
+				if err := backend.CheckInvariants(h.Level(d)); err != nil {
 					t.Fatalf("seed %d: level %d after %d: %v", seed, d, i, err)
 				}
 			}
@@ -122,7 +123,7 @@ func TestRandomTopologyInterleavedArrivals(t *testing.T) {
 				seed, transmitted, injected, h.Backlog())
 		}
 		for d := 0; d < h.Levels(); d++ {
-			if err := h.Level(d).CheckInvariants(); err != nil {
+			if err := backend.CheckInvariants(h.Level(d)); err != nil {
 				t.Fatalf("seed %d: level %d: %v", seed, d, err)
 			}
 		}

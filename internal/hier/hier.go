@@ -18,6 +18,7 @@ package hier
 import (
 	"fmt"
 
+	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/core"
 	"pieo/internal/flowq"
@@ -116,8 +117,9 @@ type Hierarchy struct {
 	LinkRateGbps float64
 
 	root     *Node
-	levels   []*core.List // levels[d] holds the children of depth-d nodes
-	wall     []bool       // levels[d] predicates live in the wall-clock domain
+	levels   []backend.Backend // levels[d] holds the children of depth-d nodes
+	wall     []bool            // levels[d] predicates live in the wall-clock domain
+	factory  func(capacity int) backend.Backend
 	leaves   map[flowq.FlowID]*Child
 	parentOf map[flowq.FlowID]*Node
 	byID     []map[uint32]*Child // per depth: child-index -> Child
@@ -125,16 +127,30 @@ type Hierarchy struct {
 }
 
 // New creates an empty hierarchy whose root schedules its children with
-// the given policy.
+// the given policy, over the default paper-exact list backend per level.
 func New(linkRateGbps float64, rootPolicy *Policy) *Hierarchy {
+	return NewOn(linkRateGbps, rootPolicy, func(n int) backend.Backend {
+		return backend.NewCoreList(n)
+	})
+}
+
+// NewOn creates an empty hierarchy whose per-level physical PIEOs are
+// built by factory at Build time (one call per level, sized to that
+// level's child count). Any backend.Backend works; the descent relies
+// only on the DequeueRange contract.
+func NewOn(linkRateGbps float64, rootPolicy *Policy, factory func(capacity int) backend.Backend) *Hierarchy {
 	if linkRateGbps <= 0 {
 		panic(fmt.Sprintf("hier: link rate must be positive, got %v", linkRateGbps))
 	}
 	if rootPolicy == nil {
 		panic("hier: root policy must not be nil")
 	}
+	if factory == nil {
+		panic("hier: backend factory must not be nil")
+	}
 	h := &Hierarchy{
 		LinkRateGbps: linkRateGbps,
+		factory:      factory,
 		leaves:       make(map[flowq.FlowID]*Child),
 		parentOf:     make(map[flowq.FlowID]*Node),
 	}
@@ -185,7 +201,7 @@ func (h *Hierarchy) Build() {
 				wall = false
 			}
 		}
-		h.levels = append(h.levels, core.New(int(nextID)))
+		h.levels = append(h.levels, h.factory(int(nextID)))
 		h.wall = append(h.wall, wall)
 		h.byID = append(h.byID, index)
 		level = next
@@ -216,7 +232,17 @@ func (h *Hierarchy) Levels() int { return len(h.levels) }
 
 // Level exposes the physical PIEO at depth d, for tests and resource
 // accounting.
-func (h *Hierarchy) Level(d int) *core.List { return h.levels[d] }
+func (h *Hierarchy) Level(d int) backend.Backend { return h.levels[d] }
+
+// BackendStats returns the summed operation counters of every level's
+// backend, for netsim reporting and the cmd/ tools.
+func (h *Hierarchy) BackendStats() backend.Stats {
+	var total backend.Stats
+	for _, list := range h.levels {
+		total.Add(list.Stats())
+	}
+	return total
+}
 
 // OnArrival implements netsim.Scheduler.
 func (h *Hierarchy) OnArrival(now clock.Time, p flowq.Packet) {

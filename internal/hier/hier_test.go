@@ -4,6 +4,7 @@ import (
 	"math"
 	"testing"
 
+	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/flowq"
 	"pieo/internal/netsim"
@@ -397,7 +398,7 @@ func TestHierarchyThirtyThousandFlows(t *testing.T) {
 		served[p.Flow] = true
 	}
 	for d := 0; d < h.Levels(); d++ {
-		if err := h.Level(d).CheckInvariants(); err != nil {
+		if err := backend.CheckInvariants(h.Level(d)); err != nil {
 			t.Fatalf("level %d: %v", d, err)
 		}
 	}
@@ -427,7 +428,7 @@ func TestLevelListInvariants(t *testing.T) {
 			t.Fatalf("drained early at %d", i)
 		}
 		for d := 0; d < h.Levels(); d++ {
-			if err := h.Level(d).CheckInvariants(); err != nil {
+			if err := backend.CheckInvariants(h.Level(d)); err != nil {
 				t.Fatalf("level %d after packet %d: %v", d, i, err)
 			}
 		}

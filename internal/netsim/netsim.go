@@ -17,6 +17,7 @@ import (
 	"fmt"
 	"math"
 
+	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/eventq"
 	"pieo/internal/flowq"
@@ -59,6 +60,12 @@ type WakeHinter interface {
 	NextWake(now clock.Time) (clock.Time, bool)
 }
 
+// BackendReporter is implemented by schedulers built over a pluggable
+// ordered-list backend that can summarize its operation counters.
+type BackendReporter interface {
+	BackendStats() backend.Stats
+}
+
 // Sim couples a link, a scheduler, and an event queue.
 type Sim struct {
 	// OnTransmit, if set, is invoked when a packet finishes
@@ -90,6 +97,15 @@ func (s *Sim) Now() clock.Time { return s.wall.Now() }
 
 // Sent returns the number of packets fully transmitted.
 func (s *Sim) Sent() uint64 { return s.sent }
+
+// BackendStats returns the scheduler's ordered-list operation counters,
+// or zeroes when the scheduler does not report a backend.
+func (s *Sim) BackendStats() backend.Stats {
+	if r, ok := s.sched.(BackendReporter); ok {
+		return r.BackendStats()
+	}
+	return backend.Stats{}
+}
 
 // Utilization returns the fraction of elapsed time the link was busy.
 func (s *Sim) Utilization() float64 {

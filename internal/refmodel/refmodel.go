@@ -7,6 +7,7 @@
 package refmodel
 
 import (
+	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/core"
 )
@@ -23,12 +24,24 @@ type List struct {
 	entries  []element
 	seq      uint64
 	present  map[uint32]bool
+	stats    backend.Stats
 }
 
 // New creates a reference list with the given capacity.
 func New(capacity int) *List {
 	return &List{capacity: capacity, present: make(map[uint32]bool)}
 }
+
+var _ backend.Backend = (*List)(nil)
+
+func init() {
+	backend.Register("ref", func(n int) backend.Backend { return New(n) })
+}
+
+// Stats returns the accumulated operation counters, making the reference
+// model itself a backend.Backend — so the differential harness can drive
+// the spec and an implementation through one code path.
+func (l *List) Stats() backend.Stats { return l.stats }
 
 // Len returns the number of queued elements.
 func (l *List) Len() int { return len(l.entries) }
@@ -57,6 +70,7 @@ func (l *List) Enqueue(e core.Entry) error {
 	copy(l.entries[idx+1:], l.entries[idx:])
 	l.entries[idx] = elem
 	l.present[e.ID] = true
+	l.stats.Enqueues++
 	return nil
 }
 
@@ -64,9 +78,11 @@ func (l *List) Enqueue(e core.Entry) error {
 func (l *List) Dequeue(now clock.Time) (core.Entry, bool) {
 	for i, x := range l.entries {
 		if x.SendTime <= now {
+			l.stats.Dequeues++
 			return l.removeAt(i), true
 		}
 	}
+	l.stats.EmptyDequeues++
 	return core.Entry{}, false
 }
 
@@ -84,6 +100,7 @@ func (l *List) Peek(now clock.Time) (core.Entry, bool) {
 func (l *List) DequeueFlow(id uint32) (core.Entry, bool) {
 	for i, x := range l.entries {
 		if x.ID == id {
+			l.stats.FlowDequeues++
 			return l.removeAt(i), true
 		}
 	}
@@ -95,6 +112,7 @@ func (l *List) DequeueFlow(id uint32) (core.Entry, bool) {
 func (l *List) DequeueRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
 	for i, x := range l.entries {
 		if x.SendTime <= now && x.ID >= lo && x.ID <= hi {
+			l.stats.RangeDequeues++
 			return l.removeAt(i), true
 		}
 	}

@@ -16,6 +16,7 @@ package sched
 import (
 	"fmt"
 
+	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/core"
 	"pieo/internal/flowq"
@@ -137,8 +138,12 @@ type Program struct {
 // set of flows, and a program. It implements netsim.Scheduler and
 // netsim.WakeHinter.
 type Scheduler struct {
-	Prog         *Program
-	List         *core.List
+	Prog *Program
+	// List is the ordered-list backend the scheduler extracts from. It
+	// defaults to the paper-exact sublist implementation (core.List via
+	// backend.CoreList); NewOn swaps in any other backend — sharded,
+	// PIFO, approximate — without touching the programming framework.
+	List         backend.Backend
 	LinkRateGbps float64
 
 	// V is the global fair-queueing virtual time (§4.1), maintained by
@@ -155,21 +160,36 @@ type Scheduler struct {
 }
 
 // New creates a scheduler for up to capacity concurrent flows on a link
-// of the given rate.
+// of the given rate, over the default paper-exact list backend.
 func New(prog *Program, capacity int, linkRateGbps float64) *Scheduler {
+	return NewOn(prog, backend.NewCoreList(capacity), linkRateGbps)
+}
+
+// NewOn creates a scheduler over an explicit ordered-list backend. The
+// programming framework is backend-agnostic: any backend.Backend can
+// carry the §3.2 functions, though approximate backends weaken the
+// scheduling guarantees exactly as §2.3 predicts.
+func NewOn(prog *Program, b backend.Backend, linkRateGbps float64) *Scheduler {
 	if prog == nil {
 		panic("sched: program must not be nil")
+	}
+	if b == nil {
+		panic("sched: backend must not be nil")
 	}
 	if linkRateGbps <= 0 {
 		panic(fmt.Sprintf("sched: link rate must be positive, got %v", linkRateGbps))
 	}
 	return &Scheduler{
 		Prog:         prog,
-		List:         core.New(capacity),
+		List:         b,
 		LinkRateGbps: linkRateGbps,
-		flows:        make(map[flowq.FlowID]*Flow, capacity),
+		flows:        make(map[flowq.FlowID]*Flow),
 	}
 }
+
+// BackendStats returns the ordered-list backend's operation counters, for
+// netsim reporting and the cmd/ tools.
+func (s *Scheduler) BackendStats() backend.Stats { return s.List.Stats() }
 
 // Flow returns the per-flow state for id, creating it with default
 // control-plane settings (weight 1, MTU quantum) on first use.

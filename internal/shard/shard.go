@@ -1,0 +1,675 @@
+// Package shard implements a sharded concurrent PIEO engine: K
+// independently-locked PIEO sublist instances with flows hash-partitioned
+// across them, and dequeue implemented as a tournament over per-shard
+// (MinRank, MinSendTime) summaries.
+//
+// This is the software analogue of the paper's §4.3 scaling story lifted
+// one level up: where the hardware instantiates "multiple physical PIEOs"
+// and partitions flows across them, this engine instantiates multiple
+// physical core.Lists, and the tournament plays the role the
+// Ordered-Sublist-Array plays inside one list — a small summary layer
+// (smallest rank, smallest send_time per partition) that locates the
+// winning partition without touching the others. Eiffel (PAPERS.md) wins
+// the same way in software with bucketed parallel queues.
+//
+// Concurrency model: any number of producers may Enqueue concurrently
+// with each other and with consumers; producers touching different shards
+// never contend, which is the point — SyncList serializes every producer
+// on one mutex. Semantics:
+//
+//   - Quiescent (single-threaded) operation is EXACT: every operation
+//     returns precisely what one core.List of the same capacity would,
+//     including cross-shard FIFO tie-breaking via a global enqueue
+//     sequence stamped into each element (core.EnqueueSeq). The
+//     differential tests in internal/core hold the engine to this
+//     bit-for-bit against the flat reference model for K=1 and K=8.
+//   - Under concurrency, each Dequeue returns an element that was its
+//     shard's smallest-ranked eligible element at extraction time, but a
+//     racing Enqueue may land a smaller-ranked eligible element on
+//     another shard after the tournament has passed it — the same
+//     bounded inexactness any partitioned scheduler (including the
+//     paper's multi-PIEO hardware, which partitions flows statically)
+//     accepts in exchange for parallelism. See DESIGN.md ("Backend
+//     interface & sharded engine") for the exactness contract.
+//
+// Per-shard sublist geometry is sized to the expected per-shard
+// occupancy (⌈√(n/K)⌉ instead of ⌈√n⌉), so sharding shortens both the
+// pointer-array scans and the sublist shifts in addition to splitting the
+// lock.
+package shard
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"pieo/internal/backend"
+	"pieo/internal/clock"
+	"pieo/internal/core"
+)
+
+// DefaultShards is the shard count the backend registry uses.
+const DefaultShards = 8
+
+// maxShards bounds K so the tournament can collect shard summaries in a
+// fixed stack buffer (no per-dequeue allocation). Shard counts anywhere
+// near it are counterproductive anyway: the tournament scans all K
+// summaries, so K should stay within a small multiple of the CPU count.
+const maxShards = 64
+
+// dequeueRetries bounds how many times a Dequeue/DequeueRange retries
+// after losing an extraction race to a concurrent consumer. Retrying
+// forever risks livelock; a handful of attempts covers realistic consumer
+// counts, and a false "empty" under heavy contention is permitted by the
+// concurrent contract (the caller polls again).
+const dequeueRetries = 4
+
+// emptyRank is the minRank summary value of an empty shard; it doubles as
+// the emptiness flag, so the tournament prunes empty shards and losing
+// shards with a single atomic load. A real element with rank 2^64-1 is
+// published clamped to emptyRank-1 so it can never masquerade as
+// emptiness; the clamp only lowers the pruning bound, which costs at
+// worst a wasted peek, never a wrong skip.
+const emptyRank = ^uint64(0)
+
+// shard is one partition: a private PIEO list, its lock, and the
+// lock-free summary the tournament reads. Cross-shard FIFO sequencing
+// lives inside the list elements themselves (core.EnqueueSeq), so the
+// shard keeps no per-element state of its own — profiling showed a
+// sideband id→seq map costing more than the sublist datapath it annotated.
+type shard struct {
+	mu   sync.Mutex
+	list *core.List
+
+	// Summaries published under mu after every mutation, read without the
+	// lock by the tournament's pruning pass. A reader may observe a
+	// summary one mutation stale; the extraction path re-validates under
+	// the lock, so staleness costs a wasted peek, never a wrong result.
+	//
+	// minRank points into the engine's packed summary array (see
+	// Engine.minRanks); it is exact after every mutation (an O(1) read off
+	// the list's pointer array). minSend is a LOWER BOUND on the true
+	// minimum send time: inserts tighten it in O(1), removals leave it
+	// stale-low (recomputing it exactly would cost an O(√n)
+	// sublist-metadata scan per mutation, which profiling showed
+	// dominating the mutation paths). A low bound is sound for pruning — a
+	// shard is skipped only when even its most optimistic element is
+	// ineligible — and a failed peek repairs the bound exactly when the
+	// staleness wasted work.
+	minRank *atomic.Uint64 // emptyRank when empty
+	minSend atomic.Uint64  // lower bound; clock.Never when empty
+}
+
+// noteMutation refreshes the summary after inserting (or re-ranking) an
+// element with the given send time, in O(1). Callers must hold mu.
+func (s *shard) noteMutation(send clock.Time) {
+	if r, ok := s.list.MinRank(); ok {
+		if r == emptyRank {
+			r--
+		}
+		s.minRank.Store(r)
+	}
+	if uint64(send) < s.minSend.Load() {
+		s.minSend.Store(uint64(send))
+	}
+}
+
+// noteRemoval refreshes the summary after removing an element, in O(1);
+// minSend stays a stale lower bound unless the shard emptied. Callers
+// must hold mu.
+func (s *shard) noteRemoval() {
+	if r, ok := s.list.MinRank(); ok {
+		if r == emptyRank {
+			r--
+		}
+		s.minRank.Store(r)
+	} else {
+		s.minRank.Store(emptyRank)
+		s.minSend.Store(uint64(clock.Never))
+	}
+}
+
+// refreshMinSend recomputes the exact minimum send time, tightening the
+// lower bound after a failed peek showed it stale. Callers must hold mu.
+func (s *shard) refreshMinSend() {
+	if t, ok := s.list.MinSendTime(); ok {
+		s.minSend.Store(uint64(t))
+	} else {
+		s.minSend.Store(uint64(clock.Never))
+	}
+}
+
+// Engine is the sharded concurrent PIEO. Create one with New; the zero
+// value is not usable.
+type Engine struct {
+	shards []*shard
+
+	// minRanks packs every shard's minRank summary into one contiguous
+	// array (K×8 bytes — one or two cache lines), because the tournament
+	// scans all K of them on every dequeue: packed, the scan touches a
+	// couple of lines instead of K distinct shard structs. The flip side
+	// is write-sharing between producers on adjacent shards, but a
+	// producer writes its slot once per mutation while the consumer scans
+	// the whole array per dequeue, so read density wins.
+	minRanks []atomic.Uint64
+
+	capacity int
+
+	size atomic.Int64  // global occupancy, enforces the shared capacity
+	seq  atomic.Uint64 // global enqueue sequence for FIFO tie-breaks
+
+	// Engine-level operation counters are derived from the per-shard
+	// lists (see Stats) so the hot enqueue/dequeue paths pay no extra
+	// atomics; only outcomes invisible to the lists are counted here.
+	emptyDequeues atomic.Uint64 // tournaments that found nothing eligible
+	updateRanks   atomic.Uint64 // successful UpdateRanks (see Stats)
+}
+
+// New creates a sharded engine with total capacity n spread over k
+// shards (k <= 0 selects DefaultShards; k above maxShards is clamped).
+// Each shard's list is provisioned with the full capacity n — hash
+// partitioning gives no worst-case balance guarantee — but with sublists
+// sized to the expected per-shard occupancy ⌈√(n/k)⌉.
+func New(n, k int) *Engine {
+	if n <= 0 {
+		panic(fmt.Sprintf("shard: capacity must be positive, got %d", n))
+	}
+	if k <= 0 {
+		k = DefaultShards
+	}
+	if k > maxShards {
+		k = maxShards
+	}
+	perShard := (n + k - 1) / k
+	s := int(math.Ceil(math.Sqrt(float64(perShard))))
+	if s < 1 {
+		s = 1
+	}
+	// Flow-map tables sized for the expected per-shard occupancy: the
+	// same table load factor a single list runs at when full, where a
+	// table sized for the full shared capacity stays ~1/K occupied and
+	// its cold probes measurably dominated the enqueue/dequeue profile.
+	// Hash imbalance past the hint just grows that shard's map once.
+	hint := perShard
+	e := &Engine{
+		shards:   make([]*shard, k),
+		minRanks: make([]atomic.Uint64, k),
+		capacity: n,
+	}
+	for i := range e.shards {
+		e.shards[i] = &shard{
+			list:    core.NewWithOccupancyHint(n, s, hint),
+			minRank: &e.minRanks[i],
+		}
+		e.shards[i].minRank.Store(emptyRank)
+		e.shards[i].minSend.Store(uint64(clock.Never))
+	}
+	return e
+}
+
+// NumShards returns K.
+func (e *Engine) NumShards() int { return len(e.shards) }
+
+// Capacity returns the shared capacity.
+func (e *Engine) Capacity() int { return e.capacity }
+
+// shardOf maps a flow ID to its home shard (Fibonacci hashing — IDs are
+// often sequential, so identity modulo would put adjacent flows on
+// adjacent shards, which is fine, but a mixing hash also breaks up
+// strided ID patterns).
+func (e *Engine) shardOf(id uint32) *shard {
+	h := uint64(id) * 0x9E3779B97F4A7C15
+	return e.shards[(h>>32)%uint64(len(e.shards))]
+}
+
+// Enqueue implements backend.Backend. Producers mapped to different
+// shards proceed in parallel; the only cross-shard coordination is two
+// atomic counters (capacity reservation and the FIFO sequence).
+func (e *Engine) Enqueue(ent core.Entry) error {
+	// Reserve a capacity slot first so the full/duplicate error
+	// precedence matches a single list (full wins). Optimistic fetch-add
+	// instead of a CAS loop: a racing overshoot is rolled straight back,
+	// so concurrent Len readers may observe a transient over-count (the
+	// concurrent contract makes Len advisory anyway) but occupancy never
+	// actually exceeds capacity.
+	if e.size.Add(1) > int64(e.capacity) {
+		e.size.Add(-1)
+		return core.ErrFull
+	}
+	// Draw the FIFO sequence outside the shard lock; a failed enqueue
+	// burns it harmlessly (ties compare relative order, not density).
+	seq := e.seq.Add(1)
+	sd := e.shardOf(ent.ID)
+	sd.mu.Lock()
+	if err := sd.list.EnqueueSeq(ent, seq); err != nil {
+		// Each shard list is provisioned with the full shared capacity
+		// and a slot was reserved above, so the shard cannot be full:
+		// the only reachable failure is ErrDuplicate.
+		sd.mu.Unlock()
+		e.size.Add(-1)
+		return err
+	}
+	sd.noteMutation(ent.SendTime)
+	sd.mu.Unlock()
+	return nil
+}
+
+// candidate is a tournament entrant: the element a shard would yield,
+// plus its global FIFO sequence.
+type candidate struct {
+	sd    *shard
+	entry core.Entry
+	seq   uint64
+}
+
+// tournament finds the winning shard for a filtered extraction: it prunes
+// on the lock-free summaries, peeks the surviving shards in ascending
+// summary-rank order under their own locks (never holding two at once),
+// and keeps the best (rank, seq). Visiting likely winners first means the
+// scan usually stops after one peek: once the best element's rank is at
+// or below every remaining shard's minimum-rank bound, no remaining shard
+// can beat it (equal bounds are still peeked — the FIFO sequence breaks
+// the tie). When ranged is true the peek is the logical-PIEO [lo, hi]
+// filter (§4.3).
+//
+// When take is true and the first successful peek is already unbeatable —
+// its rank strictly below every remaining shard's bound, so no tie-break
+// can arise — the element is extracted under the peek's own lock and
+// returned with taken=true, sparing the caller a second lock/scan visit
+// to the same shard (the common case: one shard holds the clear minimum).
+func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged, take bool) (c candidate, found, taken bool) {
+	type summary struct {
+		r  uint64
+		sd *shard
+	}
+	// Collect from the packed minRank array only; the minSend bound is
+	// read lazily when a shard wins a selection round, so a dequeue loads
+	// K contiguous words here plus one or two minSend words below instead
+	// of 2K words scattered across K shard structs. The collect pass also
+	// tracks the smallest and second-smallest bounds, so the common case
+	// (first peek wins outright) never rescans the live array.
+	var live [maxShards]summary
+	n := 0
+	mi := -1          // index in live of the smallest remaining bound
+	next := emptyRank // second-smallest remaining bound
+	for i := range e.minRanks {
+		r := e.minRanks[i].Load()
+		if r == emptyRank {
+			continue
+		}
+		live[n] = summary{r: r, sd: e.shards[i]}
+		if mi < 0 || r < live[mi].r {
+			if mi >= 0 && live[mi].r < next {
+				next = live[mi].r
+			}
+			mi = n
+		} else if r < next {
+			next = r
+		}
+		n++
+	}
+	// Selection, not sort: each round visits the smallest remaining
+	// bound, and the tournament almost always ends after one peek (the
+	// next bound can't beat it), so a full ordering would be wasted work.
+	var best candidate
+	for first := true; ; first = false {
+		if !first {
+			mi, next = -1, emptyRank
+			for i := 0; i < n; i++ {
+				if live[i].sd == nil {
+					continue
+				}
+				if mi < 0 || live[i].r < live[mi].r {
+					if mi >= 0 && live[mi].r < next {
+						next = live[mi].r
+					}
+					mi = i
+				} else if live[i].r < next {
+					next = live[i].r
+				}
+			}
+		}
+		if mi < 0 {
+			break
+		}
+		// Ascending bounds: the first bound the best already beats ends
+		// the tournament.
+		if found && live[mi].r > best.entry.Rank {
+			break
+		}
+		sd := live[mi].sd
+		live[mi].sd = nil
+		// The lazily-read eligibility bound: a shard whose most optimistic
+		// send time is still in the future cannot hold an eligible element
+		// (minSend is a lower bound), so it is dropped without locking.
+		if clock.Time(sd.minSend.Load()) > now {
+			continue
+		}
+		var (
+			ent core.Entry
+			sq  uint64
+			ok  bool
+		)
+		sd.mu.Lock()
+		if ranged {
+			ent, sq, ok = sd.list.PeekRangeSeq(now, lo, hi)
+		} else {
+			ent, sq, ok = sd.list.PeekSeq(now)
+		}
+		if !ok {
+			// The summary's lower bound let an ineligible shard through;
+			// tighten it so the next tournament prunes this shard.
+			sd.refreshMinSend()
+			sd.mu.Unlock()
+			continue
+		}
+		if take && !found && ent.Rank < next {
+			// Unbeatable: previously visited shards had nothing eligible,
+			// and every remaining shard's minimum rank already loses.
+			if ranged {
+				ent, ok = sd.list.DequeueRange(now, lo, hi)
+			} else {
+				ent, ok = sd.list.Dequeue(now)
+			}
+			if !ok {
+				// The peek above succeeded under this same lock hold.
+				panic("shard: filtered dequeue lost an element the peek saw")
+			}
+			sd.noteRemoval()
+			sd.mu.Unlock()
+			e.size.Add(-1)
+			return candidate{sd: sd, entry: ent, seq: sq}, true, true
+		}
+		sd.mu.Unlock()
+		if !found || ent.Rank < best.entry.Rank ||
+			(ent.Rank == best.entry.Rank && sq < best.seq) {
+			best = candidate{sd: sd, entry: ent, seq: sq}
+			found = true
+		}
+	}
+	return best, found, false
+}
+
+// extract removes the winning shard's current smallest-ranked eligible
+// element via the list's own filtered dequeue datapath. Quiescently that
+// is exactly the tournament candidate; under concurrency the shard's head
+// may have changed since the peek, in which case the freshly-observed
+// head is extracted instead (still eligible, still that shard's minimum —
+// the bounded inexactness the package contract allows). It reports
+// ok=false when concurrent consumers drained the shard's eligible
+// elements entirely.
+func (e *Engine) extract(sd *shard, now clock.Time, lo, hi uint32, ranged bool) (core.Entry, bool) {
+	sd.mu.Lock()
+	var (
+		ent core.Entry
+		ok  bool
+	)
+	if ranged {
+		ent, ok = sd.list.DequeueRange(now, lo, hi)
+	} else {
+		ent, ok = sd.list.Dequeue(now)
+	}
+	if !ok {
+		sd.refreshMinSend()
+		sd.mu.Unlock()
+		return core.Entry{}, false
+	}
+	sd.noteRemoval()
+	sd.mu.Unlock()
+	e.size.Add(-1)
+	return ent, true
+}
+
+// Dequeue implements backend.Backend: extract the smallest-ranked
+// eligible element across all shards (exact when quiescent; see the
+// package comment for the concurrent contract).
+func (e *Engine) Dequeue(now clock.Time) (core.Entry, bool) {
+	for attempt := 0; attempt < dequeueRetries; attempt++ {
+		c, found, taken := e.tournament(now, 0, 0, false, true)
+		if !found {
+			e.emptyDequeues.Add(1)
+			return core.Entry{}, false
+		}
+		if taken {
+			return c.entry, true
+		}
+		if ent, ok := e.extract(c.sd, now, 0, 0, false); ok {
+			return ent, true
+		}
+	}
+	e.emptyDequeues.Add(1)
+	return core.Entry{}, false
+}
+
+// DequeueRange implements backend.Backend: the logical-PIEO extraction
+// (§4.3) run as a tournament of per-shard PeekRange results.
+func (e *Engine) DequeueRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
+	for attempt := 0; attempt < dequeueRetries; attempt++ {
+		c, found, taken := e.tournament(now, lo, hi, true, true)
+		if !found {
+			e.emptyDequeues.Add(1)
+			return core.Entry{}, false
+		}
+		if taken {
+			return c.entry, true
+		}
+		if ent, ok := e.extract(c.sd, now, lo, hi, true); ok {
+			return ent, true
+		}
+	}
+	e.emptyDequeues.Add(1)
+	return core.Entry{}, false
+}
+
+// DequeueFlow implements backend.Backend: a point extraction that touches
+// exactly one shard.
+func (e *Engine) DequeueFlow(id uint32) (core.Entry, bool) {
+	sd := e.shardOf(id)
+	sd.mu.Lock()
+	ent, ok := sd.list.DequeueFlow(id)
+	if ok {
+		sd.noteRemoval()
+	}
+	sd.mu.Unlock()
+	if !ok {
+		return core.Entry{}, false
+	}
+	e.size.Add(-1)
+	return ent, true
+}
+
+// Peek implements backend.Peeker via the tournament, without extraction.
+func (e *Engine) Peek(now clock.Time) (core.Entry, bool) {
+	c, found, _ := e.tournament(now, 0, 0, false, false)
+	return c.entry, found
+}
+
+// PeekRange implements backend.Peeker.
+func (e *Engine) PeekRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
+	c, found, _ := e.tournament(now, lo, hi, true, false)
+	return c.entry, found
+}
+
+// UpdateRank implements backend.RankUpdater: the dequeue(f)+enqueue(f)
+// fusion stays atomic because ID determines the shard, so both halves run
+// under one shard lock. Re-ranking resets the element's FIFO position
+// from the global sequence, exactly as it does inside core.List.
+func (e *Engine) UpdateRank(id uint32, rank uint64, sendTime clock.Time) bool {
+	seq := e.seq.Add(1)
+	sd := e.shardOf(id)
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	if !sd.list.UpdateRankSeq(id, rank, sendTime, seq) {
+		return false
+	}
+	sd.noteMutation(sendTime)
+	e.updateRanks.Add(1)
+	return true
+}
+
+// Len implements backend.Backend from the global occupancy counter.
+func (e *Engine) Len() int { return int(e.size.Load()) }
+
+// Contains implements backend.Backend.
+func (e *Engine) Contains(id uint32) bool {
+	sd := e.shardOf(id)
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.list.Contains(id)
+}
+
+// MinSendTime implements backend.Backend exactly, computing each shard's
+// minimum under its lock (the atomic minSend is only a pruning bound: a
+// shard whose bound already loses to the best exact value found so far
+// cannot improve it and is skipped without locking). Consumers use this
+// for wake hints on the idle path, so it trades per-call cost for keeping
+// the mutation paths O(1).
+func (e *Engine) MinSendTime() (clock.Time, bool) {
+	minT := clock.Never
+	found := false
+	for _, sd := range e.shards {
+		if sd.minRank.Load() == emptyRank {
+			continue
+		}
+		if found && clock.Time(sd.minSend.Load()) >= minT {
+			continue
+		}
+		sd.mu.Lock()
+		t, ok := sd.list.MinSendTime()
+		if ok {
+			// Tighten the pruning bound while the exact value is in hand.
+			sd.minSend.Store(uint64(t))
+		}
+		sd.mu.Unlock()
+		if ok && (!found || t < minT) {
+			minT = t
+			found = true
+		}
+	}
+	return minT, found
+}
+
+// Snapshot implements backend.Backend: a global (rank, FIFO) merge of the
+// per-shard snapshots, exact when quiescent. Shards are locked one at a
+// time, so a concurrent mutation may straddle the cut.
+func (e *Engine) Snapshot() []core.Entry {
+	type seqEntry struct {
+		entry core.Entry
+		seq   uint64
+	}
+	all := make([]seqEntry, 0, e.Len())
+	for _, sd := range e.shards {
+		sd.mu.Lock()
+		ents, seqs := sd.list.SnapshotWithSeq()
+		sd.mu.Unlock()
+		for i := range ents {
+			all = append(all, seqEntry{entry: ents[i], seq: seqs[i]})
+		}
+	}
+	sort.Slice(all, func(i, j int) bool {
+		if all[i].entry.Rank != all[j].entry.Rank {
+			return all[i].entry.Rank < all[j].entry.Rank
+		}
+		return all[i].seq < all[j].seq
+	})
+	out := make([]core.Entry, len(all))
+	for i, se := range all {
+		out[i] = se.entry
+	}
+	return out
+}
+
+// Stats implements backend.Backend by summing the per-shard list
+// counters (every engine operation maps 1:1 onto exactly one successful
+// list operation), so the hot paths carry no engine-level stat atomics.
+// UpdateRank runs as a list-level flow-dequeue + re-enqueue pair, so its
+// count is subtracted back out of both; EmptyDequeues is engine-level
+// (a tournament that finds nothing touches no list datapath).
+func (e *Engine) Stats() backend.Stats {
+	hw := e.HardwareStats()
+	ur := e.updateRanks.Load()
+	return backend.Stats{
+		Enqueues:      hw.Enqueues - ur,
+		Dequeues:      hw.Dequeues,
+		EmptyDequeues: e.emptyDequeues.Load(),
+		FlowDequeues:  hw.FlowDequeues - ur,
+		RangeDequeues: hw.RangeDequeues,
+	}
+}
+
+// HardwareStats implements backend.HardwareModeled by summing the §5
+// datapath counters across shards — the cost of K physical PIEOs, which
+// is exactly how the paper accounts multi-PIEO scaling.
+func (e *Engine) HardwareStats() core.Stats {
+	var total core.Stats
+	for _, sd := range e.shards {
+		sd.mu.Lock()
+		s := sd.list.Stats()
+		sd.mu.Unlock()
+		total.Enqueues += s.Enqueues
+		total.Dequeues += s.Dequeues
+		total.EmptyDequeues += s.EmptyDequeues
+		total.FlowDequeues += s.FlowDequeues
+		total.RangeDequeues += s.RangeDequeues
+		total.Cycles += s.Cycles
+		total.SublistReads += s.SublistReads
+		total.SublistWrites += s.SublistWrites
+		total.PtrCompares += s.PtrCompares
+		total.ElemCompares += s.ElemCompares
+	}
+	return total
+}
+
+// CheckInvariants validates the engine-level structure on top of each
+// shard's own §5 invariants: partitioning by hash, summary coherence, and
+// the global size counter. Tests call it after every mutation; it must be
+// called quiescently.
+func (e *Engine) CheckInvariants() error {
+	total := 0
+	for i, sd := range e.shards {
+		sd.mu.Lock()
+		err := func() error {
+			if err := sd.list.CheckInvariants(); err != nil {
+				return fmt.Errorf("shard %d: %w", i, err)
+			}
+			for _, ent := range sd.list.Snapshot() {
+				if e.shardOf(ent.ID) != sd {
+					return fmt.Errorf("shard %d: id %d belongs on another shard", i, ent.ID)
+				}
+			}
+			if r, ok := sd.list.MinRank(); ok {
+				if r == emptyRank {
+					r--
+				}
+				if sd.minRank.Load() != r {
+					return fmt.Errorf("shard %d: summary minRank %d, list %d", i, sd.minRank.Load(), r)
+				}
+			} else if sd.minRank.Load() != emptyRank {
+				return fmt.Errorf("shard %d: empty but summary minRank %d", i, sd.minRank.Load())
+			}
+			if t, ok := sd.list.MinSendTime(); ok {
+				if bound := clock.Time(sd.minSend.Load()); bound > t {
+					return fmt.Errorf("shard %d: minSend bound %v above true min %v", i, bound, t)
+				}
+			} else if clock.Time(sd.minSend.Load()) != clock.Never {
+				return fmt.Errorf("shard %d: empty but minSend bound %v", i, clock.Time(sd.minSend.Load()))
+			}
+			total += sd.list.Len()
+			return nil
+		}()
+		sd.mu.Unlock()
+		if err != nil {
+			return err
+		}
+	}
+	if total != e.Len() {
+		return fmt.Errorf("shards hold %d elements, size counter says %d", total, e.Len())
+	}
+	return nil
+}
+
+func init() {
+	backend.Register("sharded", func(n int) backend.Backend { return New(n, DefaultShards) })
+}

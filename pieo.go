@@ -33,6 +33,7 @@ package pieo
 
 import (
 	"pieo/internal/algos"
+	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/core"
 	"pieo/internal/experiments"
@@ -41,7 +42,14 @@ import (
 	"pieo/internal/hwmodel"
 	"pieo/internal/netsim"
 	"pieo/internal/sched"
+	"pieo/internal/shard"
 	"pieo/internal/wire"
+
+	// Linked for its backend registration only: keeps the flat executable
+	// spec selectable as "ref" wherever the facade's registry is used
+	// (NewBackend, pieosim -backend), not just in the test binaries that
+	// import it directly.
+	_ "pieo/internal/refmodel"
 )
 
 // Core list types (§3.1, §5).
@@ -78,6 +86,47 @@ func NewList(n int) *List { return core.New(n) }
 // size (geometry ablations).
 func NewListWithSublistSize(n, s int) *List { return core.NewWithSublistSize(n, s) }
 
+// Pluggable ordered-list backends.
+type (
+	// Backend is the ordered-list contract every consumer (scheduler,
+	// hierarchy, SyncList, tools) programs against; core.List, the PIFO
+	// baseline, the multi-band approximation, and the sharded engine all
+	// satisfy it.
+	Backend = backend.Backend
+	// BackendStats counts backend operations (enqueues, dequeues, …).
+	BackendStats = backend.Stats
+	// Optional backend capabilities, discovered by type assertion: a
+	// backend implements what it honestly can, callers degrade
+	// gracefully. Aliased here because internal/backend is unimportable
+	// from outside the module.
+	Peeker           = backend.Peeker
+	RankUpdater      = backend.RankUpdater
+	RankRanger       = backend.RankRanger
+	InvariantChecker = backend.InvariantChecker
+	HardwareModeled  = backend.HardwareModeled
+	// ShardedList is the concurrent PIEO engine: flows hash-partitioned
+	// across independently-locked lists, dequeue as a tournament over
+	// per-shard summaries.
+	ShardedList = shard.Engine
+)
+
+// WrapList adapts a core List to the Backend interface.
+func WrapList(l *List) Backend { return backend.WrapCore(l) }
+
+// NewShardedList creates a sharded concurrent PIEO engine with capacity
+// n split across k independently-locked shards (k <= 0 selects the
+// default shard count).
+func NewShardedList(n, k int) *ShardedList { return shard.New(n, k) }
+
+// NewBackend constructs a registered backend by name ("core", "pifo",
+// "approx", "sharded", "ref") with the given capacity.
+func NewBackend(name string, capacity int) (Backend, error) {
+	return backend.New(name, capacity)
+}
+
+// BackendNames lists the registered backend names.
+func BackendNames() []string { return backend.Names() }
+
 // Scheduler framework types (§3.2).
 type (
 	// FlowID identifies a flow (traffic class).
@@ -105,6 +154,12 @@ const (
 // flows on a link of the given rate.
 func NewScheduler(prog *Program, capacity int, linkRateGbps float64) *Scheduler {
 	return sched.New(prog, capacity, linkRateGbps)
+}
+
+// NewSchedulerOn creates a flat scheduler running prog over an explicit
+// ordered-list backend.
+func NewSchedulerOn(prog *Program, b Backend, linkRateGbps float64) *Scheduler {
+	return sched.NewOn(prog, b, linkRateGbps)
 }
 
 // Algorithm catalogue (§4). Each constructor returns a Program for
@@ -160,6 +215,13 @@ type (
 // with rootPolicy. Add nodes/flows, then call Build before traffic.
 func NewHierarchy(linkRateGbps float64, rootPolicy *Policy) *Hierarchy {
 	return hier.New(linkRateGbps, rootPolicy)
+}
+
+// NewHierarchyOn creates a hierarchy whose per-level physical PIEOs are
+// built by factory (one call per level, sized to that level's child
+// count).
+func NewHierarchyOn(linkRateGbps float64, rootPolicy *Policy, factory func(capacity int) Backend) *Hierarchy {
+	return hier.NewOn(linkRateGbps, rootPolicy, factory)
 }
 
 // Per-node policies for hierarchies.

@@ -3,45 +3,62 @@ package pieo
 import (
 	"sync"
 
+	"pieo/internal/backend"
 	"pieo/internal/clock"
-	"pieo/internal/core"
 )
 
-// SyncList is a mutex-guarded PIEO list for callers that enqueue from
+// SyncList is a lock-guarded PIEO backend for callers that enqueue from
 // multiple goroutines (e.g. per-connection producers feeding one
 // transmit scheduler). The hardware design — and the single-threaded
 // List — processes one operation per four cycles anyway, so a single
-// lock mirrors the real serialization point rather than hiding it;
-// profile before assuming the lock is the bottleneck.
+// lock mirrors the real serialization point rather than hiding it; when
+// the lock itself becomes the bottleneck, switch to the sharded engine
+// (NewShardedList), which partitions flows across independently-locked
+// lists.
+//
+// Locking invariant: every mutating operation (Enqueue, Dequeue,
+// DequeueFlow, DequeueRange, UpdateRank) takes the write lock; the
+// read-only queries (Len, Contains, MinSendTime, Snapshot, Stats) take
+// the read lock and may run concurrently with each other. This is sound
+// only because the wrapped backend's query methods are side-effect free
+// — core.List queries touch no counters and do no lazy restructuring.
+// A backend whose reads mutate (e.g. one that rebalances on Snapshot)
+// must not be wrapped here without auditing that property.
 type SyncList struct {
-	mu sync.Mutex
-	l  *core.List
+	mu sync.RWMutex
+	b  backend.Backend
 }
 
-// NewSyncList creates a concurrency-safe PIEO list with capacity n.
+// NewSyncList creates a concurrency-safe PIEO list with capacity n over
+// the paper-exact list backend.
 func NewSyncList(n int) *SyncList {
-	return &SyncList{l: core.New(n)}
+	return NewSyncListOn(backend.NewCoreList(n))
+}
+
+// NewSyncListOn wraps any Backend in a single reader-writer lock.
+func NewSyncListOn(b backend.Backend) *SyncList {
+	return &SyncList{b: b}
 }
 
 // Enqueue inserts e at its rank position.
 func (s *SyncList) Enqueue(e Entry) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.l.Enqueue(e)
+	return s.b.Enqueue(e)
 }
 
 // Dequeue extracts the smallest-ranked eligible element at time now.
 func (s *SyncList) Dequeue(now Time) (Entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.l.Dequeue(now)
+	return s.b.Dequeue(now)
 }
 
 // DequeueFlow extracts a specific element by id.
 func (s *SyncList) DequeueFlow(id uint32) (Entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.l.DequeueFlow(id)
+	return s.b.DequeueFlow(id)
 }
 
 // DequeueRange extracts the smallest-ranked eligible element whose ID
@@ -49,21 +66,28 @@ func (s *SyncList) DequeueFlow(id uint32) (Entry, bool) {
 func (s *SyncList) DequeueRange(now Time, lo, hi uint32) (Entry, bool) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.l.DequeueRange(now, lo, hi)
+	return s.b.DequeueRange(now, lo, hi)
 }
 
 // Len returns the number of queued elements.
 func (s *SyncList) Len() int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.l.Len()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.b.Len()
+}
+
+// Contains reports whether id is currently queued.
+func (s *SyncList) Contains(id uint32) bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.b.Contains(id)
 }
 
 // MinSendTime returns the earliest eligibility time across the list.
 func (s *SyncList) MinSendTime() (Time, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.l.MinSendTime()
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.b.MinSendTime()
 }
 
 // UpdateRank atomically re-ranks the element with the given id — the
@@ -72,12 +96,28 @@ func (s *SyncList) MinSendTime() (Time, bool) {
 func (s *SyncList) UpdateRank(id uint32, rank uint64, sendTime clock.Time) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.l.UpdateRank(id, rank, sendTime)
+	return backend.UpdateRank(s.b, id, rank, sendTime)
 }
 
 // Snapshot returns the rank-ordered contents.
 func (s *SyncList) Snapshot() []Entry {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.b.Snapshot()
+}
+
+// Stats returns the wrapped backend's operation counters.
+func (s *SyncList) Stats() backend.Stats {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.b.Stats()
+}
+
+// CheckInvariants validates the wrapped backend under the write lock.
+func (s *SyncList) CheckInvariants() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return s.l.Snapshot()
+	return backend.CheckInvariants(s.b)
 }
+
+var _ backend.Backend = (*SyncList)(nil)
