@@ -100,6 +100,149 @@ func BenchmarkPIEODequeueRange(b *testing.B) {
 	}
 }
 
+// --- Uncontended single-thread core datapath ---
+//
+// The hotpath acceptance benchmarks: one goroutine driving a backend
+// through the §3.1 primitives with no lock contention, so the numbers
+// isolate the core datapath (position search, sublist shifts, metadata
+// refresh) that EXPERIMENTS.md "hotpath" tracks. Sizes deliberately
+// bracket the paper's 30K operating point and extend to 2^19, where the
+// √n sublist geometry makes sequential scans expensive enough to matter.
+
+func coreBenchSizes() []int { return []int{1 << 10, 30000, 1 << 19} }
+
+// coreBenchBackends enumerates the exact backends worth measuring
+// uncontended. The flat reference model is excluded: its O(n) scans at
+// 2^19 would take minutes per benchmark.
+func coreBenchBackends() []string { return []string{"core", "sharded"} }
+
+// warmBackend builds a half-full backend of capacity n with uniformly
+// random ranks, all eligible.
+func warmBackend(b *testing.B, name string, n int) (Backend, *rand.Rand) {
+	be, err := NewBackend(name, n)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n/2; i++ {
+		if err := be.Enqueue(Entry{ID: uint32(i), Rank: uint64(rng.Intn(1 << 20)), SendTime: Always}); err != nil {
+			b.Fatal(err)
+		}
+	}
+	return be, rng
+}
+
+func BenchmarkCoreEnqueue(b *testing.B) {
+	for _, name := range coreBenchBackends() {
+		for _, n := range coreBenchSizes() {
+			b.Run(fmt.Sprintf("backend=%s/n=%d", name, n), func(b *testing.B) {
+				be, rng := warmBackend(b, name, n)
+				id := uint32(n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					id++
+					if err := be.Enqueue(Entry{ID: id, Rank: uint64(rng.Intn(1 << 20)), SendTime: Always}); err != nil {
+						// Refill transient: drain back to half full with the
+						// timer stopped so only enqueues are measured.
+						b.StopTimer()
+						for be.Len() > n/2 {
+							be.Dequeue(0)
+						}
+						b.StartTimer()
+						if err := be.Enqueue(Entry{ID: id, Rank: uint64(rng.Intn(1 << 20)), SendTime: Always}); err != nil {
+							b.Fatal(err)
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+func BenchmarkCoreDequeue(b *testing.B) {
+	for _, name := range coreBenchBackends() {
+		for _, n := range coreBenchSizes() {
+			b.Run(fmt.Sprintf("backend=%s/n=%d", name, n), func(b *testing.B) {
+				be, rng := warmBackend(b, name, n)
+				id := uint32(n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, ok := be.Dequeue(0); !ok {
+						// Drained: refill to half full with the timer stopped
+						// so only dequeues are measured.
+						b.StopTimer()
+						for be.Len() < n/2 {
+							id++
+							_ = be.Enqueue(Entry{ID: id, Rank: uint64(rng.Intn(1 << 20)), SendTime: Always})
+						}
+						b.StartTimer()
+						if _, ok := be.Dequeue(0); !ok {
+							b.Fatal("refilled backend empty")
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCoreMixed alternates enqueue and dequeue at steady-state
+// half-occupancy — the EXPERIMENTS.md "hotpath" headline shape.
+func BenchmarkCoreMixed(b *testing.B) {
+	for _, name := range coreBenchBackends() {
+		for _, n := range coreBenchSizes() {
+			b.Run(fmt.Sprintf("backend=%s/n=%d", name, n), func(b *testing.B) {
+				be, rng := warmBackend(b, name, n)
+				id := uint32(n)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if i%2 == 0 {
+						id++
+						_ = be.Enqueue(Entry{ID: id, Rank: uint64(rng.Intn(1 << 20)), SendTime: Always})
+					} else {
+						be.Dequeue(0)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkCoreMixedBatch is BenchmarkCoreMixed through the batch APIs:
+// 64-entry EnqueueBatch alternating with DequeueUpTo(64), measuring the
+// per-element amortization the backend.Batcher capability buys.
+func BenchmarkCoreMixedBatch(b *testing.B) {
+	const batch = 64
+	for _, name := range coreBenchBackends() {
+		for _, n := range coreBenchSizes() {
+			b.Run(fmt.Sprintf("backend=%s/n=%d", name, n), func(b *testing.B) {
+				be, rng := warmBackend(b, name, n)
+				id := uint32(n)
+				in := make([]Entry, batch)
+				out := make([]Entry, 0, batch)
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i += 2 * batch {
+					for j := range in {
+						id++
+						in[j] = Entry{ID: id, Rank: uint64(rng.Intn(1 << 20)), SendTime: Always}
+					}
+					if _, err := EnqueueBatch(be, in); err != nil {
+						b.Fatal(err)
+					}
+					out = DequeueUpTo(be, 0, batch, out[:0])
+					if len(out) != batch {
+						b.Fatal("batch dequeue came up short")
+					}
+				}
+			})
+		}
+	}
+}
+
 // --- Contended concurrent backends ---
 //
 // benchContended drives a concurrency-safe backend with 8 producer

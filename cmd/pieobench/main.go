@@ -6,12 +6,20 @@
 //	pieobench -experiment fig8        # one experiment
 //	pieobench -experiment all         # everything (default)
 //	pieobench -list                   # list experiment ids
+//	pieobench -experiment hotpath -cpuprofile cpu.pprof
+//
+// The -cpuprofile and -memprofile flags write pprof profiles covering
+// the experiment run, for `go tool pprof` analysis of the software
+// datapath (the "hotpath" experiment is the intended subject, but the
+// profiles cover whichever experiments run).
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 
 	"pieo/internal/experiments"
 )
@@ -20,6 +28,8 @@ func main() {
 	experiment := flag.String("experiment", "all", "experiment id to run, or 'all'")
 	format := flag.String("format", "table", "output format: table|csv")
 	list := flag.Bool("list", false, "list available experiment ids and exit")
+	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
 	if *list {
@@ -27,6 +37,20 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pieobench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pieobench: cpuprofile:", err)
+			os.Exit(1)
+		}
+		defer pprof.StopCPUProfile()
 	}
 
 	ids := experiments.IDs()
@@ -37,7 +61,7 @@ func main() {
 		tab, err := experiments.Run(id)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "pieobench:", err)
-			os.Exit(1)
+			exit(1, *cpuprofile)
 		}
 		switch *format {
 		case "table":
@@ -46,7 +70,30 @@ func main() {
 			tab.FprintCSV(os.Stdout)
 		default:
 			fmt.Fprintf(os.Stderr, "pieobench: unknown format %q\n", *format)
-			os.Exit(1)
+			exit(1, *cpuprofile)
 		}
 	}
+
+	if *memprofile != "" {
+		f, err := os.Create(*memprofile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "pieobench: memprofile:", err)
+			exit(1, *cpuprofile)
+		}
+		defer f.Close()
+		runtime.GC() // settle the heap so the profile shows live objects
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintln(os.Stderr, "pieobench: memprofile:", err)
+			exit(1, *cpuprofile)
+		}
+	}
+}
+
+// exit stops an active CPU profile before terminating: os.Exit skips
+// deferred calls, which would otherwise leave a truncated profile.
+func exit(code int, cpuprofile string) {
+	if cpuprofile != "" {
+		pprof.StopCPUProfile()
+	}
+	os.Exit(code)
 }

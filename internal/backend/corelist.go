@@ -37,6 +37,10 @@ func (c *CoreList) Stats() Stats {
 // counters.
 func (c *CoreList) HardwareStats() core.Stats { return c.List.Stats() }
 
+// The embedded list's native EnqueueBatch/DequeueUpTo promote to the
+// optional batch capability.
+var _ Batcher = (*CoreList)(nil)
+
 func init() {
 	Register("core", func(n int) Backend { return NewCoreList(n) })
 }

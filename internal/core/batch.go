@@ -1,0 +1,53 @@
+package core
+
+import "pieo/internal/clock"
+
+// EnqueueBatch inserts es in order, exactly as the equivalent sequence of
+// Enqueue calls would: every entry is attempted even after a failure, the
+// FIFO tie-break sequence advances per attempted-and-accepted entry, and
+// Stats charges each insert as an individual 4-cycle hardware operation
+// (the hardware has no batch datapath; batching is a software-side
+// amortization of call overhead only). It returns the number of entries
+// accepted and the first error encountered, nil when all were accepted.
+func (l *List) EnqueueBatch(es []Entry) (int, error) {
+	accepted := 0
+	var firstErr error
+	for i := range es {
+		if err := l.Enqueue(es[i]); err != nil {
+			if firstErr == nil {
+				firstErr = err
+			}
+			continue
+		}
+		accepted++
+	}
+	return accepted, firstErr
+}
+
+// DequeueUpTo extracts up to k eligible elements at now in dequeue order,
+// appending them to out (which may be nil) and returning the extended
+// slice; it stops early when no element is eligible. Passing a buffer
+// with capacity k keeps the call allocation-free.
+//
+// The result is identical to k sequential Dequeue(now) calls — same
+// elements, same order, same Stats — but the eligibility scan resumes
+// from just before the previous extraction point instead of the head:
+// positions left of a miss hold only ineligible sublists, extraction
+// never makes an earlier position eligible (removing an element can only
+// raise a cached smallest send_time), and the Invariant-1 repair shifts
+// the scanned prefix left by at most one slot. The failed probe that
+// terminates the batch is a real empty dequeue and is charged as one.
+func (l *List) DequeueUpTo(now clock.Time, k int, out []Entry) []Entry {
+	hint := 0
+	for ; k > 0; k-- {
+		e, pos, ok := l.dequeueFrom(now, hint)
+		if !ok {
+			break
+		}
+		out = append(out, e)
+		if pos > 0 {
+			hint = pos - 1
+		}
+	}
+	return out
+}

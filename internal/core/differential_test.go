@@ -23,6 +23,8 @@ const (
 	opDequeueRange
 	opMinSendTime
 	opPeek
+	opEnqueueBatch
+	opDequeueUpTo
 	numOpKinds
 )
 
@@ -119,6 +121,66 @@ func runDifferentialOn(t *testing.T, impl backend.Backend, seed int64, capacity,
 			if gotOK != wantOK || got != want {
 				t.Fatalf("seed %d step %d: Peek(%v) = %v,%v, ref %v,%v", seed, step, now, got, gotOK, want, wantOK)
 			}
+		case opEnqueueBatch:
+			// Batch insert through the backend's native batch path (or the
+			// fallback loop), against per-entry inserts on the reference.
+			// A quarter of the entries reuse a live-or-dead ID so batches
+			// regularly carry mid-batch duplicates.
+			es := make([]core.Entry, rng.Intn(6)+1)
+			for i := range es {
+				id := nextID
+				if nextID > 0 && rng.Intn(4) == 0 {
+					id = uint32(rng.Intn(int(nextID)))
+				} else {
+					nextID++
+				}
+				es[i] = core.Entry{
+					ID:       id,
+					Rank:     uint64(rng.Int63n(int64(rankSpace))),
+					SendTime: clock.Time(rng.Intn(timeSpace)),
+				}
+				if rng.Intn(16) == 0 && allowNever {
+					es[i].SendTime = clock.Never
+				}
+			}
+			gotN, gotErr := backend.EnqueueBatch(impl, es)
+			wantN := 0
+			var wantErr error
+			for _, e := range es {
+				if err := ref.Enqueue(e); err != nil {
+					if wantErr == nil {
+						wantErr = err
+					}
+					continue
+				}
+				wantN++
+			}
+			if gotN != wantN || gotErr != wantErr {
+				t.Fatalf("seed %d step %d: EnqueueBatch(%v) = %d,%v, ref %d,%v",
+					seed, step, es, gotN, gotErr, wantN, wantErr)
+			}
+		case opDequeueUpTo:
+			now := clock.Time(rng.Intn(timeSpace))
+			k := rng.Intn(6) + 1
+			got := backend.DequeueUpTo(impl, now, k, nil)
+			want := make([]core.Entry, 0, k)
+			for len(want) < k {
+				e, ok := ref.Dequeue(now)
+				if !ok {
+					break
+				}
+				want = append(want, e)
+			}
+			if len(got) != len(want) {
+				t.Fatalf("seed %d step %d: DequeueUpTo(%v,%d) returned %d entries, ref %d",
+					seed, step, now, k, len(got), len(want))
+			}
+			for i := range got {
+				if got[i] != want[i] {
+					t.Fatalf("seed %d step %d: DequeueUpTo(%v,%d)[%d] = %v, ref %v",
+						seed, step, now, k, i, got[i], want[i])
+				}
+			}
 		}
 		if impl.Len() != ref.Len() {
 			t.Fatalf("seed %d step %d: Len = %d, ref %d", seed, step, impl.Len(), ref.Len())
@@ -186,8 +248,8 @@ func TestDifferentialBackends(t *testing.T) {
 		rankSpace       uint64
 		timeSpace       int
 	}{
-		{9, 2000, 8, 8},       // tiny: constant full/empty pressure
-		{64, 3000, 2, 4},      // narrow ranks: FIFO tie-breaks cross shards
+		{9, 2000, 8, 8},  // tiny: constant full/empty pressure
+		{64, 3000, 2, 4}, // narrow ranks: FIFO tie-breaks cross shards
 		{256, 4000, 1 << 16, 64},
 	}
 	for _, cfg := range configs {

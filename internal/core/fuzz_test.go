@@ -20,6 +20,8 @@ func FuzzListOps(f *testing.F) {
 	f.Add([]byte{1, 1, 1, 1})
 	f.Add([]byte{0, 10, 1, 0, 0, 20, 1, 0, 2, 10, 3, 5})
 	f.Add([]byte{255, 254, 253, 252, 251, 250, 0, 1, 2, 3})
+	f.Add([]byte{5, 3, 1, 10, 2, 11, 3, 3, 12, 1, 6, 0, 2})
+	f.Add([]byte{5, 4, 4, 5, 0, 8, 6, 12, 2, 4, 6, 0, 4, 13, 2, 0})
 
 	f.Fuzz(func(t *testing.T, program []byte) {
 		const capacity = 24
@@ -39,7 +41,7 @@ func FuzzListOps(f *testing.F) {
 				}
 				return 0
 			}
-			switch op % 5 {
+			switch op % 7 {
 			case 0: // enqueue(rank, send)
 				e := core.Entry{ID: nextID, Rank: uint64(arg() % 16), SendTime: clock.Time(arg() % 8)}
 				nextID++
@@ -92,6 +94,53 @@ func FuzzListOps(f *testing.F) {
 					}
 					if _, wok := ref.DequeueFlow(got.ID); !wok {
 						t.Fatalf("reference lost flow %d", got.ID)
+					}
+				}
+			case 5: // batch enqueue(count, then rank/send pairs)
+				es := make([]core.Entry, int(arg()%5)+1)
+				for j := range es {
+					id := nextID
+					b := arg()
+					if nextID > 0 && b%4 == 0 {
+						id = uint32(b) % nextID // provoke mid-batch duplicates
+					} else {
+						nextID++
+					}
+					es[j] = core.Entry{ID: id, Rank: uint64(arg() % 16), SendTime: clock.Time(arg() % 8)}
+				}
+				gotN, gotErr := impl.EnqueueBatch(es)
+				wantN := 0
+				var wantErr error
+				for _, e := range es {
+					if err := ref.Enqueue(e); err != nil {
+						if wantErr == nil {
+							wantErr = err
+						}
+						continue
+					}
+					wantN++
+				}
+				if gotN != wantN || gotErr != wantErr {
+					t.Fatalf("EnqueueBatch(%v) = %d,%v, ref %d,%v", es, gotN, gotErr, wantN, wantErr)
+				}
+			case 6: // batch dequeue(now, k)
+				now := clock.Time(arg() % 8)
+				k := int(arg()%5) + 1
+				got := impl.DequeueUpTo(now, k, nil)
+				want := make([]core.Entry, 0, k)
+				for len(want) < k {
+					e, ok := ref.Dequeue(now)
+					if !ok {
+						break
+					}
+					want = append(want, e)
+				}
+				if len(got) != len(want) {
+					t.Fatalf("DequeueUpTo(%v,%d) returned %d entries, ref %d", now, k, len(got), len(want))
+				}
+				for j := range got {
+					if got[j] != want[j] {
+						t.Fatalf("DequeueUpTo(%v,%d)[%d] = %v, ref %v", now, k, j, got[j], want[j])
 					}
 				}
 			}

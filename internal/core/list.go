@@ -20,6 +20,31 @@
 // usage), and comparator activations in Stats so the evaluation harness
 // can reason about hardware cost without re-deriving it.
 //
+// The hardware evaluates its O(√N) comparators in parallel, so a
+// software model that emulates them with sequential scans pays O(√N)
+// per operation where the hardware pays one cycle. The software datapath
+// therefore takes three shortcuts that change no observable behavior
+// (DESIGN.md §7):
+//
+//   - Position searches run as binary searches: the pointer array's
+//     smallest ranks are nondecreasing (sublists partition the global
+//     rank order) and each Rank-/Eligibility-Sublist is sorted, so every
+//     parallel-compare + priority-encode step has an O(log) equivalent.
+//   - The dequeue-side eligibility select keeps a packed summary word
+//     per 32 pointer-array positions (the minimum cached send_time of
+//     the block — the same summary-tournament technique internal/shard
+//     uses across engines), so finding the first eligible sublist skips
+//     32 positions per probe instead of scanning all ~2√N.
+//   - Sublists live in two-ended stores with slack on both sides, so
+//     head/tail insertions and removals — the common case on both the
+//     enqueue split path and the dequeue refill path — move no elements,
+//     and interior shifts move whichever side is shorter.
+//
+// Stats still counts the work the HARDWARE would do — all comparators
+// charged per parallel compare, four cycles per op — not the software's
+// shortcut, so hardware-cost experiments are unaffected by software
+// optimization (see Stats).
+//
 // Eligibility predicates follow §5.2: each element carries a send_time
 // and is eligible when curr_time >= send_time, where curr_time is any
 // monotonic function of time supplied by the caller at dequeue.
@@ -70,6 +95,12 @@ var (
 // elements all fall outside the requested index range; each extra scanned
 // sublist costs one additional cycle and one additional read, which the
 // model charges explicitly.
+//
+// The counters describe the HARDWARE datapath, not the software model:
+// a parallel compare over the pointer array charges all l.active
+// comparators even though the software resolves it with an O(log √N)
+// binary search, and batch operations (EnqueueBatch, DequeueUpTo) charge
+// exactly what the same operations issued one at a time would.
 type Stats struct {
 	Enqueues      uint64
 	Dequeues      uint64 // successful Dequeue()
@@ -103,13 +134,107 @@ func (a element) less(b element) bool {
 // sublist is one SRAM-resident sublist: entries ordered by (rank, seq)
 // and a parallel multiset of send_times ordered ascending (the
 // Eligibility-Sublist).
+//
+// Both orders live in two-ended backing stores of capacity 2·(S+1) with
+// the live window floating between slack at either end (entries =
+// buf[estart : estart+n]). Removing the head or tail — what every
+// dequeue and every Invariant-1 refill does — just moves the window
+// edge; interior insertions shift whichever side is shorter. The 2×
+// store mirrors the paper's own 2× SRAM provisioning and guarantees one
+// side always has room, so the window never needs recentering.
 type sublist struct {
-	entries []element
-	elig    []clock.Time
+	entries []element    // rank-ordered window into buf
+	elig    []clock.Time // ascending send_time window into tbuf
+
+	buf    []element
+	tbuf   []clock.Time
+	estart int // entries window offset within buf
+	tstart int // elig window offset within tbuf
 }
 
 func (s *sublist) len() int           { return len(s.entries) }
 func (s *sublist) full(cap_ int) bool { return len(s.entries) == cap_ }
+
+// alloc sizes the two-ended stores for sublist size size. New binds most
+// sublists to a contiguous arena up front; alloc covers the ones past
+// the occupancy hint's high-water mark, as a one-time cost on first use.
+func (s *sublist) alloc(size int) {
+	slots := 2 * (size + 1)
+	s.bind(make([]element, slots), make([]clock.Time, slots))
+}
+
+// bind attaches backing stores and centers the (empty) windows.
+func (s *sublist) bind(buf []element, tbuf []clock.Time) {
+	s.buf, s.tbuf = buf, tbuf
+	s.estart = len(buf) / 2
+	s.tstart = len(tbuf) / 2
+	s.entries = buf[s.estart:s.estart]
+	s.elig = tbuf[s.tstart:s.tstart]
+}
+
+// insertEntryAt places e at rank-order index idx, shifting whichever
+// side of the two-ended store is shorter (falling back to the side with
+// room; one side always has some, since cap = 2·(S+1) ≥ n+1).
+func (s *sublist) insertEntryAt(idx int, e element) {
+	n := len(s.entries)
+	if (idx <= n-idx && s.estart > 0) || s.estart+n == len(s.buf) {
+		copy(s.buf[s.estart-1:], s.buf[s.estart:s.estart+idx])
+		s.estart--
+	} else {
+		copy(s.buf[s.estart+idx+1:s.estart+n+1], s.buf[s.estart+idx:s.estart+n])
+	}
+	s.buf[s.estart+idx] = e
+	s.entries = s.buf[s.estart : s.estart+n+1]
+}
+
+// removeEntryAt deletes rank-order index idx, shifting the shorter side.
+// Emptying the sublist recenters the window so the next fill starts with
+// balanced slack.
+func (s *sublist) removeEntryAt(idx int) {
+	n := len(s.entries)
+	if n == 1 {
+		s.estart = len(s.buf) / 2
+		s.entries = s.buf[s.estart:s.estart]
+		return
+	}
+	if idx < n-1-idx {
+		copy(s.buf[s.estart+1:s.estart+idx+1], s.buf[s.estart:s.estart+idx])
+		s.estart++
+	} else {
+		copy(s.buf[s.estart+idx:s.estart+n-1], s.buf[s.estart+idx+1:s.estart+n])
+	}
+	s.entries = s.buf[s.estart : s.estart+n-1]
+}
+
+// insertEligAt and removeEligAt are the same two-ended operations on the
+// Eligibility-Sublist.
+func (s *sublist) insertEligAt(idx int, t clock.Time) {
+	n := len(s.elig)
+	if (idx <= n-idx && s.tstart > 0) || s.tstart+n == len(s.tbuf) {
+		copy(s.tbuf[s.tstart-1:], s.tbuf[s.tstart:s.tstart+idx])
+		s.tstart--
+	} else {
+		copy(s.tbuf[s.tstart+idx+1:s.tstart+n+1], s.tbuf[s.tstart+idx:s.tstart+n])
+	}
+	s.tbuf[s.tstart+idx] = t
+	s.elig = s.tbuf[s.tstart : s.tstart+n+1]
+}
+
+func (s *sublist) removeEligAt(idx int) {
+	n := len(s.elig)
+	if n == 1 {
+		s.tstart = len(s.tbuf) / 2
+		s.elig = s.tbuf[s.tstart:s.tstart]
+		return
+	}
+	if idx < n-1-idx {
+		copy(s.tbuf[s.tstart+1:s.tstart+idx+1], s.tbuf[s.tstart:s.tstart+idx])
+		s.tstart++
+	} else {
+		copy(s.tbuf[s.tstart+idx:s.tstart+n-1], s.tbuf[s.tstart+idx+1:s.tstart+n])
+	}
+	s.elig = s.tbuf[s.tstart : s.tstart+n-1]
+}
 
 // ptr is one Ordered-Sublist-Array entry (§5.2).
 type ptr struct {
@@ -118,6 +243,16 @@ type ptr struct {
 	smallestSendTime clock.Time
 	num              int
 }
+
+// Packed eligibility summary geometry: one summary word per 32
+// pointer-array positions, holding the block's minimum cached
+// send_time. 32 keeps the summary array a few cache lines even at the
+// 2^19 operating point (~46 words) while bounding the in-block scan.
+const (
+	eligBlockShift = 5
+	eligBlockLen   = 1 << eligBlockShift
+	eligBlockMask  = eligBlockLen - 1
+)
 
 // List is a PIEO ordered list. Create one with New or NewWithSublistSize.
 type List struct {
@@ -128,6 +263,14 @@ type List struct {
 	order    []ptr     // Ordered-Sublist-Array; [0:active) non-empty, rest empty
 	active   int
 	posOf    []int // sublist id -> position in order
+
+	// eligBlk[b] is the minimum order[i].smallestSendTime over the active
+	// positions i in [b·32, (b+1)·32) — the software's packed stand-in
+	// for the hardware's parallel eligibility comparators. It is exact
+	// (refreshed on every metadata change), so a block whose word fails
+	// the time filter is skipped wholesale and a block whose word passes
+	// is guaranteed to contain an eligible sublist.
+	eligBlk []clock.Time
 
 	size  int
 	seq   uint64
@@ -154,13 +297,15 @@ func NewWithSublistSize(n, s int) *List {
 	return NewWithOccupancyHint(n, s, n)
 }
 
-// NewWithOccupancyHint is NewWithSublistSize with the flow map pre-sized
-// for an expected occupancy below the hard capacity. A sharded engine
-// provisions every shard with the full shared capacity for safety (hash
-// partitioning guarantees no balance) but expects ~capacity/K residents;
-// sizing the map table for the expectation keeps its probes
-// cache-resident, and the map still grows transparently if a shard ever
-// exceeds the hint.
+// NewWithOccupancyHint is NewWithSublistSize with the flow map and the
+// sublist storage arena pre-sized for an expected occupancy below the
+// hard capacity. A sharded engine provisions every shard with the full
+// shared capacity for safety (hash partitioning guarantees no balance)
+// but expects ~capacity/K residents; sizing for the expectation keeps
+// the map probes cache-resident and the preallocated arena proportional
+// to real occupancy. The structure still grows transparently — the map
+// rehashes, sublists past the arena allocate on first use — if a shard
+// ever exceeds the hint.
 func NewWithOccupancyHint(n, s, hint int) *List {
 	if n <= 0 || s <= 0 {
 		panic(fmt.Sprintf("pieo: invalid geometry n=%d s=%d", n, s))
@@ -175,16 +320,35 @@ func NewWithOccupancyHint(n, s, hint int) *List {
 		sublists:    make([]sublist, num),
 		order:       make([]ptr, num),
 		posOf:       make([]int, num),
+		eligBlk:     make([]clock.Time, (num+eligBlockMask)>>eligBlockShift),
 		where:       make(map[uint32]int, hint),
 	}
+	// Preallocate two-ended stores for every sublist the hint occupancy
+	// can keep active, carved from one contiguous arena (a single
+	// allocation, and neighboring sublists — which every operation pair
+	// touches — stay adjacent in memory). Sublist claiming is LIFO from
+	// the empty partition, so the sublists that ever hold elements are
+	// exactly ids [0, high-water mark): binding the arena to the lowest
+	// ids makes the steady-state op path allocation-free.
+	slots := 2 * (s + 1)
+	pre := 2*((hint+s-1)/s) + 2
+	if pre > num {
+		pre = num
+	}
+	ebuf := make([]element, pre*slots)
+	tbuf := make([]clock.Time, pre*slots)
+	for i := 0; i < pre; i++ {
+		l.sublists[i].bind(
+			ebuf[i*slots:(i+1)*slots:(i+1)*slots],
+			tbuf[i*slots:(i+1)*slots:(i+1)*slots],
+		)
+	}
 	for i := range l.sublists {
-		// Sublist storage is allocated on first use (insertElem): the 2×
-		// Invariant-1 provisioning means at least half the sublists are
-		// empty at any moment, and a sharded engine over-provisions each
-		// shard by another K×, so eager allocation would mostly buy
-		// untouched memory.
 		l.order[i] = ptr{sublistID: i, smallestSendTime: clock.Never}
 		l.posOf[i] = i
+	}
+	for b := range l.eligBlk {
+		l.eligBlk[b] = clock.Never
 	}
 	return l
 }
@@ -263,17 +427,25 @@ func (l *List) enqueue(elem element) error {
 		return nil
 	}
 
-	// Cycle 1: parallel compare (order[i].smallestRank > e.Rank) over the
-	// pointer array; priority-encode to the first strictly-greater
-	// sublist j, and select j-1 (clamped to the head).
+	// Cycle 1: the hardware compares (order[i].smallestRank > e.Rank)
+	// over the whole pointer array in parallel and priority-encodes the
+	// first strictly-greater sublist j, selecting j-1 (clamped to the
+	// head); equality on rank means "not greater", which preserves the
+	// FIFO tie-break (a cached smallest key is always older than a new
+	// element). Stats charge all l.active comparators; the software
+	// resolves j by binary search, valid because smallest ranks are
+	// nondecreasing across the active partition.
 	l.stats.PtrCompares += uint64(l.active)
-	pos := l.active - 1
-	for i := 0; i < l.active; i++ {
-		if l.rankGreater(l.order[i], elem) {
-			pos = i - 1
-			break
+	lo, hi := 0, l.active
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if l.order[mid].smallestRank > e.Rank {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
+	pos := lo - 1
 	if pos < 0 {
 		pos = 0
 	}
@@ -316,33 +488,61 @@ func (l *List) enqueue(elem element) error {
 	return nil
 }
 
-// rankGreater reports whether the sublist behind p orders strictly after
-// elem — the hardware's (smallest_rank > f.rank) compare, extended with
-// the FIFO tie-break (a cached smallest key always has an older sequence
-// than a new element, so equality on rank means "not greater").
-func (l *List) rankGreater(p ptr, elem element) bool {
-	return p.smallestRank > elem.Rank
+// firstEligible returns the first active position whose cached smallest
+// send_time passes the time filter at now, or -1. Because sublists
+// partition the global rank order, that position holds the globally
+// smallest-ranked eligible element. The packed summary words skip 32
+// ineligible positions per probe; a word that passes guarantees a hit
+// inside its block (the summary is exact).
+//
+// startPos is a resume hint for batch extraction: callers must guarantee
+// that every position before it is ineligible at now.
+func (l *List) firstEligible(now clock.Time, startPos int) int {
+	pos := startPos
+	for pos < l.active {
+		if pos&eligBlockMask == 0 {
+			for pos < l.active && now < l.eligBlk[pos>>eligBlockShift] {
+				pos += eligBlockLen
+			}
+			if pos >= l.active {
+				return -1
+			}
+		}
+		end := (pos | eligBlockMask) + 1
+		if end > l.active {
+			end = l.active
+		}
+		for ; pos < end; pos++ {
+			if now >= l.order[pos].smallestSendTime {
+				return pos
+			}
+		}
+	}
+	return -1
 }
 
 // Dequeue extracts the smallest-ranked eligible element at time now
 // ("Extract-Out", §3.1). It returns ok=false when no element is eligible.
 func (l *List) Dequeue(now clock.Time) (Entry, bool) {
+	e, _, ok := l.dequeueFrom(now, 0)
+	return e, ok
+}
+
+// dequeueFrom is the Dequeue datapath with a resume hint (see
+// firstEligible); it additionally returns the order position the element
+// was extracted from, so DequeueUpTo can resume its scan past the
+// positions already known ineligible. Stats are charged identically
+// regardless of the hint: the hardware's parallel compare always
+// activates every pointer-array comparator.
+func (l *List) dequeueFrom(now clock.Time, startPos int) (Entry, int, bool) {
 	// Cycle 1: priority-encode the first sublist whose smallest
-	// send_time passes (now >= smallest_send_time). Because sublists
-	// partition the global rank order, the first sublist with any
-	// eligible element holds the globally smallest-ranked eligible one.
+	// send_time passes (now >= smallest_send_time).
 	l.stats.PtrCompares += uint64(l.active)
-	pos := -1
-	for i := 0; i < l.active; i++ {
-		if now >= l.order[i].smallestSendTime {
-			pos = i
-			break
-		}
-	}
+	pos := l.firstEligible(now, startPos)
 	if pos == -1 {
 		l.stats.EmptyDequeues++
 		l.stats.Cycles++ // the failed select still burns the compare cycle
-		return Entry{}, false
+		return Entry{}, -1, false
 	}
 	l.stats.Dequeues++
 	l.stats.Cycles += 4
@@ -354,8 +554,8 @@ func (l *List) Dequeue(now clock.Time) (Entry, bool) {
 	// eligible element of the sublist (entries are rank-ordered).
 	l.stats.ElemCompares += uint64(sl.len())
 	idx := -1
-	for i, e := range sl.entries {
-		if e.SendTime <= now {
+	for i := range sl.entries {
+		if sl.entries[i].SendTime <= now {
 			idx = i
 			break
 		}
@@ -367,7 +567,7 @@ func (l *List) Dequeue(now clock.Time) (Entry, bool) {
 	}
 	out := sl.entries[idx].Entry
 	l.extractAt(pos, sl, idx)
-	return out, true
+	return out, pos, true
 }
 
 // Peek returns the element Dequeue would extract at time now, without
@@ -381,19 +581,17 @@ func (l *List) Peek(now clock.Time) (Entry, bool) {
 // sharded engine's dequeue tournament compares to break equal-rank ties
 // across shards.
 func (l *List) PeekSeq(now clock.Time) (Entry, uint64, bool) {
-	for i := 0; i < l.active; i++ {
-		if now < l.order[i].smallestSendTime {
-			continue
-		}
-		sl := &l.sublists[l.order[i].sublistID]
-		for _, e := range sl.entries {
-			if e.SendTime <= now {
-				return e.Entry, e.seq, true
-			}
-		}
-		panic(fmt.Sprintf("pieo: sublist %d metadata/content mismatch at t=%v", l.order[i].sublistID, now))
+	pos := l.firstEligible(now, 0)
+	if pos == -1 {
+		return Entry{}, 0, false
 	}
-	return Entry{}, 0, false
+	sl := &l.sublists[l.order[pos].sublistID]
+	for i := range sl.entries {
+		if sl.entries[i].SendTime <= now {
+			return sl.entries[i].Entry, sl.entries[i].seq, true
+		}
+	}
+	panic(fmt.Sprintf("pieo: sublist %d metadata/content mismatch at t=%v", l.order[pos].sublistID, now))
 }
 
 // DequeueFlow extracts the element with the given id regardless of
@@ -412,8 +610,8 @@ func (l *List) DequeueFlow(id uint32) (Entry, bool) {
 	l.stats.SublistReads++
 	l.stats.ElemCompares += uint64(sl.len())
 	idx := -1
-	for i, e := range sl.entries {
-		if e.ID == id {
+	for i := range sl.entries {
+		if sl.entries[i].ID == id {
 			idx = i
 			break
 		}
@@ -431,17 +629,17 @@ func (l *List) DequeueFlow(id uint32) (Entry, bool) {
 // hierarchical scheduling (§4.3), where each non-leaf node's predicate is
 // extended with (start <= f.index <= end). Sublists whose time filter
 // passes but which hold no in-range eligible element cost one extra cycle
-// and read each, which Stats records.
+// and read each, which Stats records; sublists skipped by the packed
+// summary never passed the time filter and cost nothing, exactly as in
+// the hardware's parallel select.
 func (l *List) DequeueRange(now clock.Time, lo, hi uint32) (Entry, bool) {
 	l.stats.PtrCompares += uint64(l.active)
-	for pos := 0; pos < l.active; pos++ {
-		if now < l.order[pos].smallestSendTime {
-			continue
-		}
+	for pos := l.firstEligible(now, 0); pos != -1; pos = l.firstEligible(now, pos+1) {
 		sl := &l.sublists[l.order[pos].sublistID]
 		l.stats.SublistReads++
 		l.stats.ElemCompares += uint64(sl.len())
-		for idx, e := range sl.entries {
+		for idx := range sl.entries {
+			e := &sl.entries[idx]
 			if e.SendTime <= now && e.ID >= lo && e.ID <= hi {
 				l.stats.RangeDequeues++
 				l.stats.Cycles += 4
@@ -467,12 +665,10 @@ func (l *List) PeekRange(now clock.Time, lo, hi uint32) (Entry, bool) {
 // PeekRangeSeq is PeekRange plus the element's FIFO sequence number (see
 // PeekSeq).
 func (l *List) PeekRangeSeq(now clock.Time, lo, hi uint32) (Entry, uint64, bool) {
-	for pos := 0; pos < l.active; pos++ {
-		if now < l.order[pos].smallestSendTime {
-			continue
-		}
+	for pos := l.firstEligible(now, 0); pos != -1; pos = l.firstEligible(now, pos+1) {
 		sl := &l.sublists[l.order[pos].sublistID]
-		for _, e := range sl.entries {
+		for i := range sl.entries {
+			e := &sl.entries[i]
 			if e.SendTime <= now && e.ID >= lo && e.ID <= hi {
 				return e.Entry, e.seq, true
 			}
@@ -494,17 +690,18 @@ func (l *List) MinRank() (uint64, bool) {
 }
 
 // MinSendTime returns the smallest send_time across all queued elements —
-// in O(1) from the pointer-array metadata. Fair-queueing algorithms use
-// it as the "minimum start time among backlogged flows" term of the
-// WF²Q+ virtual-time update. ok is false when the list is empty.
+// computed from the packed summary words, O(√N/32). Fair-queueing
+// algorithms use it as the "minimum start time among backlogged flows"
+// term of the WF²Q+ virtual-time update. ok is false when the list is
+// empty.
 func (l *List) MinSendTime() (clock.Time, bool) {
 	if l.active == 0 {
 		return 0, false
 	}
 	minT := clock.Never
-	for i := 0; i < l.active; i++ {
-		if l.order[i].smallestSendTime < minT {
-			minT = l.order[i].smallestSendTime
+	for b := 0; b<<eligBlockShift < l.active; b++ {
+		if l.eligBlk[b] < minT {
+			minT = l.eligBlk[b]
 		}
 	}
 	return minT, true
@@ -576,67 +773,128 @@ func (l *List) extractAt(pos int, sl *sublist, idx int) {
 }
 
 // insertElem places elem at its (rank, seq) position in the rank-ordered
-// entries and its send_time in the eligibility multiset.
+// entries and its send_time in the eligibility multiset, locating both
+// positions by binary search (the hardware's parallel compare; callers
+// charge the comparator stats).
 func (l *List) insertElem(sl *sublist, elem element) {
-	if cap(sl.entries) == 0 {
-		// First use of this sublist: size both arrays for the full S+1
-		// transient (insert-then-split) so they never regrow.
-		sl.entries = make([]element, 0, l.sublistSize+1)
-		sl.elig = make([]clock.Time, 0, l.sublistSize+1)
+	if sl.buf == nil {
+		// Past the arena's occupancy-hint high-water mark: one-time
+		// storage allocation on first use.
+		sl.alloc(l.sublistSize)
 	}
-	idx := len(sl.entries)
-	for i, e := range sl.entries {
-		if elem.less(e) {
-			idx = i
-			break
+	entries := sl.entries
+	lo, hi := 0, len(entries)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if elem.less(entries[mid]) {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	sl.entries = append(sl.entries, element{})
-	copy(sl.entries[idx+1:], sl.entries[idx:])
-	sl.entries[idx] = elem
+	sl.insertEntryAt(lo, elem)
 
-	eidx := len(sl.elig)
-	for i, t := range sl.elig {
-		if elem.SendTime < t {
-			eidx = i
-			break
+	// Upper bound keeps equal send_times in insertion order.
+	elig := sl.elig
+	lo, hi = 0, len(elig)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if elem.SendTime < elig[mid] {
+			hi = mid
+		} else {
+			lo = mid + 1
 		}
 	}
-	sl.elig = append(sl.elig, 0)
-	copy(sl.elig[eidx+1:], sl.elig[eidx:])
-	sl.elig[eidx] = elem.SendTime
+	sl.insertEligAt(lo, elem.SendTime)
 }
 
 // removeAt deletes entry idx from the rank order and its send_time from
-// the eligibility multiset.
+// the eligibility multiset (lower-bound binary search: any slot holding
+// the value serves, the multiset is by value).
 func (l *List) removeAt(sl *sublist, idx int) {
 	st := sl.entries[idx].SendTime
-	copy(sl.entries[idx:], sl.entries[idx+1:])
-	sl.entries = sl.entries[:len(sl.entries)-1]
+	sl.removeEntryAt(idx)
 
-	for i, t := range sl.elig {
-		if t == st {
-			copy(sl.elig[i:], sl.elig[i+1:])
-			sl.elig = sl.elig[:len(sl.elig)-1]
-			return
+	elig := sl.elig
+	lo, hi := 0, len(elig)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if elig[mid] < st {
+			lo = mid + 1
+		} else {
+			hi = mid
 		}
 	}
-	panic(fmt.Sprintf("pieo: eligibility sublist lost send_time %v", st))
+	if lo == len(elig) || elig[lo] != st {
+		panic(fmt.Sprintf("pieo: eligibility sublist lost send_time %v", st))
+	}
+	sl.removeEligAt(lo)
 }
 
 // refreshMeta recomputes the cached pointer-array attributes of the
-// sublist at order position pos.
+// sublist at order position pos, and the packed summary word covering it.
+// The summary update is incremental: a send_time at or below the block
+// minimum replaces it in O(1), and only the "this position held the
+// minimum and it rose" case rescans the block — so the all-eligible fast
+// path (every send_time clock.Always) never rescans.
 func (l *List) refreshMeta(pos int) {
 	sl := &l.sublists[l.order[pos].sublistID]
+	old := l.order[pos].smallestSendTime
+	var t clock.Time
 	if sl.len() == 0 {
 		l.order[pos].smallestRank = 0
 		l.order[pos].smallestSendTime = clock.Never
 		l.order[pos].num = 0
+		t = clock.Never
+	} else {
+		t = sl.elig[0]
+		l.order[pos].smallestRank = sl.entries[0].Rank
+		l.order[pos].smallestSendTime = t
+		l.order[pos].num = sl.len()
+	}
+	b := pos >> eligBlockShift
+	switch {
+	case t <= l.eligBlk[b]:
+		// Every other position in the block is >= the old minimum >= t.
+		l.eligBlk[b] = t
+	case old == l.eligBlk[b]:
+		// pos may have been the sole holder of the minimum.
+		l.refreshEligBlock(b)
+	}
+	// Otherwise: old > blk means another position holds the minimum, and
+	// t > blk cannot lower it — the word is already exact.
+}
+
+// refreshEligBlock recomputes summary word b over its active coverage.
+func (l *List) refreshEligBlock(b int) {
+	lo := b << eligBlockShift
+	hi := lo + eligBlockLen
+	if hi > l.active {
+		hi = l.active
+	}
+	m := clock.Never
+	for i := lo; i < hi; i++ {
+		if t := l.order[i].smallestSendTime; t < m {
+			m = t
+		}
+	}
+	l.eligBlk[b] = m
+}
+
+// rebuildEligBlocksFrom recomputes every summary word from the one
+// covering pos through the end of the active partition, after a
+// pointer-array shift (claimEmptyAt, retire) moved positions across
+// block boundaries. Cost is proportional to the shifted range the caller
+// already paid for.
+func (l *List) rebuildEligBlocksFrom(pos int) {
+	if l.active == 0 {
+		l.eligBlk[0] = clock.Never
 		return
 	}
-	l.order[pos].smallestRank = sl.entries[0].Rank
-	l.order[pos].smallestSendTime = sl.elig[0]
-	l.order[pos].num = sl.len()
+	last := (l.active - 1) >> eligBlockShift
+	for b := pos >> eligBlockShift; b <= last; b++ {
+		l.refreshEligBlock(b)
+	}
 }
 
 // claimEmptyAt rotates the first empty sublist into order position pos
@@ -653,6 +911,7 @@ func (l *List) claimEmptyAt(pos int) int {
 	for i := pos; i < l.active; i++ {
 		l.posOf[l.order[i].sublistID] = i
 	}
+	l.rebuildEligBlocksFrom(pos)
 	return pos
 }
 
@@ -669,16 +928,21 @@ func (l *List) retire(pos int) {
 	for i := pos; i <= l.active; i++ {
 		l.posOf[l.order[i].sublistID] = i
 	}
+	l.rebuildEligBlocksFrom(pos)
 }
 
 // Snapshot returns the Global-Ordered-List: every queued entry in
-// increasing (rank, FIFO) order. It is O(n) and intended for tests,
+// increasing (rank, FIFO) order. The output is allocated exactly once at
+// l.size and filled by index. It is O(n) and intended for tests,
 // debugging, and experiment reporting.
 func (l *List) Snapshot() []Entry {
-	out := make([]Entry, 0, l.size)
+	out := make([]Entry, l.size)
+	k := 0
 	for i := 0; i < l.active; i++ {
-		for _, e := range l.sublists[l.order[i].sublistID].entries {
-			out = append(out, e.Entry)
+		sl := &l.sublists[l.order[i].sublistID]
+		for j := range sl.entries {
+			out[k] = sl.entries[j].Entry
+			k++
 		}
 	}
 	return out
@@ -686,14 +950,17 @@ func (l *List) Snapshot() []Entry {
 
 // SnapshotWithSeq is Snapshot plus each entry's FIFO sequence number, so
 // a sharded engine can merge per-shard snapshots into the global
-// (rank, FIFO) order.
+// (rank, FIFO) order. Both outputs are allocated exactly once at l.size.
 func (l *List) SnapshotWithSeq() ([]Entry, []uint64) {
-	out := make([]Entry, 0, l.size)
-	seqs := make([]uint64, 0, l.size)
+	out := make([]Entry, l.size)
+	seqs := make([]uint64, l.size)
+	k := 0
 	for i := 0; i < l.active; i++ {
-		for _, e := range l.sublists[l.order[i].sublistID].entries {
-			out = append(out, e.Entry)
-			seqs = append(seqs, e.seq)
+		sl := &l.sublists[l.order[i].sublistID]
+		for j := range sl.entries {
+			out[k] = sl.entries[j].Entry
+			seqs[k] = sl.entries[j].seq
+			k++
 		}
 	}
 	return out, seqs
@@ -701,9 +968,10 @@ func (l *List) SnapshotWithSeq() ([]Entry, []uint64) {
 
 // CheckInvariants validates the complete §5 data-structure contract:
 // partitioning of the pointer array, Invariant 1, global rank order,
-// metadata coherence, eligibility-sublist coherence, and flow-map
-// consistency. Tests call it after every mutation; it returns the first
-// violation found.
+// metadata coherence, eligibility-sublist coherence, flow-map
+// consistency, plus the software-only structures layered on top (packed
+// summary words, two-ended window bounds). Tests call it after every
+// mutation; it returns the first violation found.
 func (l *List) CheckInvariants() error {
 	if l.active < 0 || l.active > len(l.order) {
 		return fmt.Errorf("active=%d out of range", l.active)
@@ -720,6 +988,18 @@ func (l *List) CheckInvariants() error {
 			return fmt.Errorf("posOf[%d]=%d, want %d", p.sublistID, l.posOf[p.sublistID], i)
 		}
 		sl := &l.sublists[p.sublistID]
+		if sl.buf != nil {
+			if sl.estart < 0 || sl.estart+len(sl.entries) > len(sl.buf) {
+				return fmt.Errorf("sublist %d entries window [%d,%d) outside store of %d",
+					p.sublistID, sl.estart, sl.estart+len(sl.entries), len(sl.buf))
+			}
+			if sl.tstart < 0 || sl.tstart+len(sl.elig) > len(sl.tbuf) {
+				return fmt.Errorf("sublist %d elig window [%d,%d) outside store of %d",
+					p.sublistID, sl.tstart, sl.tstart+len(sl.elig), len(sl.tbuf))
+			}
+		} else if sl.len() != 0 {
+			return fmt.Errorf("sublist %d holds %d elements without storage", p.sublistID, sl.len())
+		}
 		if i < l.active {
 			if sl.len() == 0 {
 				return fmt.Errorf("active position %d is empty", i)
@@ -784,6 +1064,23 @@ func (l *List) CheckInvariants() error {
 	}
 	if len(l.where) != l.size {
 		return fmt.Errorf("flow map has %d entries, size=%d", len(l.where), l.size)
+	}
+	// Packed summary words must be the exact block minima.
+	for b := 0; b<<eligBlockShift < l.active; b++ {
+		lo := b << eligBlockShift
+		hi := lo + eligBlockLen
+		if hi > l.active {
+			hi = l.active
+		}
+		m := clock.Never
+		for i := lo; i < hi; i++ {
+			if t := l.order[i].smallestSendTime; t < m {
+				m = t
+			}
+		}
+		if l.eligBlk[b] != m {
+			return fmt.Errorf("summary word %d = %v, want %v", b, l.eligBlk[b], m)
+		}
 	}
 	return nil
 }

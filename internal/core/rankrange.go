@@ -74,21 +74,34 @@ func (l *List) findMinRankAtLeast(lo uint64) (pos, idx int) {
 	l.stats.PtrCompares += uint64(l.active)
 	// First sublist whose smallest rank is >= lo: its head is a
 	// candidate. The preceding sublist may also hold entries >= lo in
-	// its tail.
-	first := l.active
-	for i := 0; i < l.active; i++ {
-		if l.order[i].smallestRank >= lo {
-			first = i
-			break
+	// its tail. Both searches are binary — the pointer array's smallest
+	// ranks are nondecreasing and each sublist is rank-ordered — while
+	// Stats charges the hardware's parallel comparators as usual.
+	flo, fhi := 0, l.active
+	for flo < fhi {
+		mid := int(uint(flo+fhi) >> 1)
+		if l.order[mid].smallestRank >= lo {
+			fhi = mid
+		} else {
+			flo = mid + 1
 		}
 	}
+	first := flo
 	if first > 0 {
 		prev := &l.sublists[l.order[first-1].sublistID]
 		l.stats.ElemCompares += uint64(prev.len())
-		for j, e := range prev.entries {
-			if e.Rank >= lo {
-				return first - 1, j
+		entries := prev.entries
+		jlo, jhi := 0, len(entries)
+		for jlo < jhi {
+			mid := int(uint(jlo+jhi) >> 1)
+			if entries[mid].Rank >= lo {
+				jhi = mid
+			} else {
+				jlo = mid + 1
 			}
+		}
+		if jlo < len(entries) {
+			return first - 1, jlo
 		}
 	}
 	if first < l.active {

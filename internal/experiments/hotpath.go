@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+	"runtime"
+	"time"
+
+	"pieo/internal/backend"
+	"pieo/internal/clock"
+	"pieo/internal/core"
+	_ "pieo/internal/shard" // registers the "sharded" backend
+)
+
+// hotpathSizes sweeps the software-datapath operating points: the paper's
+// 1K and 30K scheduler sizes plus the 2^19 stress point where the O(√N)
+// scans the software used to pay are ~23× longer than at 1K.
+var hotpathSizes = []int{1 << 10, 30000, 1 << 19}
+
+// hotpathBatch is the batch width of the batched measurement, matching
+// BenchmarkCoreMixedBatch.
+const hotpathBatch = 64
+
+// hotpathOps scales the measured op count to the structure size so the
+// big sizes neither finish instantly nor dominate the runtime.
+func hotpathOps(n int) int {
+	if n >= 1<<19 {
+		return 1 << 20
+	}
+	return 1 << 22
+}
+
+// hotpathMeasure runs the steady-state half-occupancy mixed workload
+// (alternating enqueue/dequeue, uniformly random ranks, all eligible —
+// the BenchmarkCoreMixed shape) against a fresh backend and returns
+// ns/op and heap allocations per op. batch <= 1 issues single
+// operations; larger values go through the backend.Batcher paths.
+func hotpathMeasure(name string, n, batch int) (nsPerOp, allocsPerOp float64) {
+	be, err := backend.New(name, n)
+	if err != nil {
+		panic(fmt.Sprintf("hotpath: %v", err))
+	}
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < n/2; i++ {
+		if err := be.Enqueue(core.Entry{ID: uint32(i), Rank: uint64(rng.Intn(1 << 20)), SendTime: clock.Always}); err != nil {
+			panic(fmt.Sprintf("hotpath: warm fill: %v", err))
+		}
+	}
+	ops := hotpathOps(n)
+	id := uint32(n)
+	in := make([]core.Entry, hotpathBatch)
+	out := make([]core.Entry, 0, hotpathBatch)
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	if batch <= 1 {
+		for i := 0; i < ops; i++ {
+			if i%2 == 0 {
+				id++
+				_ = be.Enqueue(core.Entry{ID: id, Rank: uint64(rng.Intn(1 << 20)), SendTime: clock.Always})
+			} else {
+				be.Dequeue(0)
+			}
+		}
+	} else {
+		for i := 0; i < ops; i += 2 * batch {
+			for j := 0; j < batch; j++ {
+				id++
+				in[j] = core.Entry{ID: id, Rank: uint64(rng.Intn(1 << 20)), SendTime: clock.Always}
+			}
+			if _, err := backend.EnqueueBatch(be, in[:batch]); err != nil {
+				panic(fmt.Sprintf("hotpath: batch enqueue: %v", err))
+			}
+			out = backend.DequeueUpTo(be, 0, batch, out[:0])
+		}
+	}
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	nsPerOp = float64(elapsed.Nanoseconds()) / float64(ops)
+	allocsPerOp = float64(after.Mallocs-before.Mallocs) / float64(ops)
+	return nsPerOp, allocsPerOp
+}
+
+// Hotpath measures the software datapath itself: steady-state mixed
+// enqueue/dequeue ns/op and allocs/op per backend and size, single-op
+// and through the batch APIs. This is the experiment behind the
+// EXPERIMENTS.md "hotpath" section; unlike fig8–fig10 it reports
+// measured software cost, not modeled hardware cost (the Stats hardware
+// counters are identical either way — see DESIGN.md §7).
+func Hotpath() *Table {
+	var rows [][]string
+	for _, name := range []string{"core", "sharded"} {
+		for _, n := range hotpathSizes {
+			ns, allocs := hotpathMeasure(name, n, 1)
+			bns, ballocs := hotpathMeasure(name, n, hotpathBatch)
+			rows = append(rows, []string{
+				name,
+				sizeLabel(n),
+				fmt.Sprintf("%.1f", ns),
+				fmt.Sprintf("%.3f", allocs),
+				fmt.Sprintf("%.1f", bns),
+				fmt.Sprintf("%.3f", ballocs),
+			})
+		}
+	}
+	return &Table{
+		ID:      "hotpath",
+		Title:   "Software datapath: steady-state mixed enqueue/dequeue cost",
+		Columns: []string{"backend", "size", "ns/op", "allocs/op", "batch64 ns/op", "batch64 allocs/op"},
+		Rows:    rows,
+		Notes: []string{
+			"half-occupancy steady state, uniformly random ranks, all elements eligible",
+			"single-process wall-clock measurement; go test -bench CoreMixed gives the calibrated numbers",
+			"allocs/op ~0 is the contract: the op path allocates only on map growth past the occupancy hint",
+		},
+	}
+}

@@ -97,6 +97,7 @@ var registry = map[string]Runner{
 	"pacing":    Pacing,
 	"wfi":       WFI,
 	"hier3":     Hier3,
+	"hotpath":   Hotpath,
 }
 
 // IDs returns the registered experiment ids, sorted.

@@ -157,6 +157,8 @@ type Scheduler struct {
 	flows   map[flowq.FlowID]*Flow
 	pending []flowq.Packet // burst left over from a multi-packet PostDequeue
 	drops   uint64         // packets tail-dropped at full flow queues
+
+	arrivalBatch []core.Entry // OnArrivalBatch scratch, reused across calls
 }
 
 // New creates a scheduler for up to capacity concurrent flows on a link
@@ -253,6 +255,60 @@ func (s *Scheduler) OnArrival(now clock.Time, p flowq.Packet) {
 	}
 }
 
+// OnArrivalBatch delivers ps in arrival order with the exact state
+// evolution of per-packet OnArrival calls, but collects the ordered-list
+// inserts of newly-backlogged flows and issues them as one batch through
+// the backend's batch path (one lock acquisition on SyncList, one
+// per-shard fan-out on the sharded engine). This is sound because the
+// pre-enqueue functions compute each flow's rank inline at its arrival
+// point — only the already-computed list inserts are deferred — and no
+// §3.2.1 pre-enqueue/pre-packet hook reads the ordered list (the §4
+// programs read it only from PostDequeue/OnIdle/OnArrival). Programs
+// with an OnArrival hook fall back to per-packet delivery: the hook may
+// inspect or rewrite the list between arrivals (SJF re-ranks via Alarm),
+// so deferring inserts would change what it observes.
+func (s *Scheduler) OnArrivalBatch(now clock.Time, ps []flowq.Packet) {
+	if s.Prog.OnArrival != nil {
+		for _, p := range ps {
+			s.OnArrival(now, p)
+		}
+		return
+	}
+	batch := s.arrivalBatch[:0]
+	for _, p := range ps {
+		f := s.Flow(p.Flow)
+		if s.Prog.Model == InputTriggered {
+			if s.Prog.PrePacket != nil {
+				s.Prog.PrePacket(s, now, f, &p)
+			} else {
+				p.Rank = 1
+				p.SendAt = clock.Always
+			}
+		}
+		wasEmpty := f.Queue.Empty()
+		if !f.Queue.TryPush(p) {
+			s.drops++
+			continue
+		}
+		if wasEmpty {
+			f.NewlyBacklogged = true
+			// A flow can become newly backlogged at most once per batch
+			// (no dequeues run in between), so the batch holds no
+			// duplicate IDs beyond what the list already rejects.
+			if ent, ok := s.prepareEntry(now, f); ok {
+				batch = append(batch, ent)
+			}
+		}
+	}
+	s.arrivalBatch = batch[:0] // keep the grown capacity, not the entries
+	if len(batch) == 0 {
+		return
+	}
+	if _, err := backend.EnqueueBatch(s.List, batch); err != nil {
+		panic(fmt.Sprintf("sched: batch enqueue: %v", err))
+	}
+}
+
 // Drops returns the number of packets tail-dropped across all flows.
 func (s *Scheduler) Drops() uint64 { return s.drops }
 
@@ -330,8 +386,24 @@ func (s *Scheduler) DefaultPostDequeue(now clock.Time, f *Flow) []flowq.Packet {
 // packet's precomputed attributes. Blocked flows (§4.4) and flows already
 // in the list are left alone.
 func (s *Scheduler) EnqueueFlow(now clock.Time, f *Flow) {
-	if f.Blocked || f.Queue.Empty() || s.List.Contains(uint32(f.ID)) {
+	ent, ok := s.prepareEntry(now, f)
+	if !ok {
 		return
+	}
+	if err := s.List.Enqueue(ent); err != nil {
+		panic(fmt.Sprintf("sched: enqueue flow %d: %v", f.ID, err))
+	}
+}
+
+// prepareEntry runs EnqueueFlow's guard and attribute assignment —
+// everything except the list insert itself — and returns the entry to
+// insert. ok is false when the flow must stay out of the list (blocked,
+// empty queue, already present). OnArrivalBatch uses it to compute each
+// flow's attributes at its exact arrival point while deferring the
+// inserts into one batch.
+func (s *Scheduler) prepareEntry(now clock.Time, f *Flow) (core.Entry, bool) {
+	if f.Blocked || f.Queue.Empty() || s.List.Contains(uint32(f.ID)) {
+		return core.Entry{}, false
 	}
 	switch s.Prog.Model {
 	case OutputTriggered:
@@ -347,9 +419,7 @@ func (s *Scheduler) EnqueueFlow(now clock.Time, f *Flow) {
 		f.SendTime = head.SendAt
 	}
 	f.NewlyBacklogged = false
-	if err := s.List.Enqueue(core.Entry{ID: uint32(f.ID), Rank: f.Rank, SendTime: f.SendTime}); err != nil {
-		panic(fmt.Sprintf("sched: enqueue flow %d: %v", f.ID, err))
-	}
+	return core.Entry{ID: uint32(f.ID), Rank: f.Rank, SendTime: f.SendTime}, true
 }
 
 // Alarm implements the §3.2/§4.4 asynchronous path: extract flow id from

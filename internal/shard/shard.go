@@ -274,12 +274,19 @@ type candidate struct {
 // the tie). When ranged is true the peek is the logical-PIEO [lo, hi]
 // filter (§4.3).
 //
-// When take is true and the first successful peek is already unbeatable —
+// When budget > 0 and the first successful peek is already unbeatable —
 // its rank strictly below every remaining shard's bound, so no tie-break
-// can arise — the element is extracted under the peek's own lock and
-// returned with taken=true, sparing the caller a second lock/scan visit
-// to the same shard (the common case: one shard holds the clear minimum).
-func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged, take bool) (c candidate, found, taken bool) {
+// can arise — elements are extracted under the peek's own lock and taken
+// reports how many: the first extraction spares the caller a second
+// lock/scan visit to the same shard (the common case: one shard holds the
+// clear minimum), and the drain continues up to budget elements for as
+// long as the shard's next eligible head still beats every remaining
+// bound outright (strictly below — an equal bound could FIFO-tie, which
+// only a fresh tournament can adjudicate). Extracted elements are
+// appended to *sink when sink is non-nil; the first is also returned in
+// c.entry, so single-element callers pass sink=nil and stay
+// allocation-free. budget == 0 is a pure peek.
+func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget int, sink *[]core.Entry) (c candidate, found bool, taken int) {
 	type summary struct {
 		r  uint64
 		sd *shard
@@ -365,22 +372,53 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged, take bool) (c
 			sd.mu.Unlock()
 			continue
 		}
-		if take && !found && ent.Rank < next {
+		if budget > 0 && !found && ent.Rank < next {
 			// Unbeatable: previously visited shards had nothing eligible,
 			// and every remaining shard's minimum rank already loses.
-			if ranged {
-				ent, ok = sd.list.DequeueRange(now, lo, hi)
-			} else {
-				ent, ok = sd.list.Dequeue(now)
-			}
-			if !ok {
-				// The peek above succeeded under this same lock hold.
-				panic("shard: filtered dequeue lost an element the peek saw")
+			for {
+				var got core.Entry
+				var gok bool
+				if ranged {
+					got, gok = sd.list.DequeueRange(now, lo, hi)
+				} else {
+					got, gok = sd.list.Dequeue(now)
+				}
+				if !gok {
+					if taken == 0 {
+						// The peek above succeeded under this same lock hold.
+						panic("shard: filtered dequeue lost an element the peek saw")
+					}
+					break
+				}
+				taken++
+				if taken == 1 {
+					c = candidate{sd: sd, entry: got, seq: sq}
+				}
+				if sink != nil {
+					*sink = append(*sink, got)
+				}
+				if taken == budget {
+					break
+				}
+				// Keep draining only while the shard's next eligible head
+				// would win a rerun tournament outright.
+				var (
+					nent core.Entry
+					nok  bool
+				)
+				if ranged {
+					nent, _, nok = sd.list.PeekRangeSeq(now, lo, hi)
+				} else {
+					nent, _, nok = sd.list.PeekSeq(now)
+				}
+				if !nok || nent.Rank >= next {
+					break
+				}
 			}
 			sd.noteRemoval()
 			sd.mu.Unlock()
-			e.size.Add(-1)
-			return candidate{sd: sd, entry: ent, seq: sq}, true, true
+			e.size.Add(int64(-taken))
+			return c, true, taken
 		}
 		sd.mu.Unlock()
 		if !found || ent.Rank < best.entry.Rank ||
@@ -389,7 +427,7 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged, take bool) (c
 			found = true
 		}
 	}
-	return best, found, false
+	return best, found, 0
 }
 
 // extract removes the winning shard's current smallest-ranked eligible
@@ -427,12 +465,12 @@ func (e *Engine) extract(sd *shard, now clock.Time, lo, hi uint32, ranged bool) 
 // package comment for the concurrent contract).
 func (e *Engine) Dequeue(now clock.Time) (core.Entry, bool) {
 	for attempt := 0; attempt < dequeueRetries; attempt++ {
-		c, found, taken := e.tournament(now, 0, 0, false, true)
+		c, found, taken := e.tournament(now, 0, 0, false, 1, nil)
 		if !found {
 			e.emptyDequeues.Add(1)
 			return core.Entry{}, false
 		}
-		if taken {
+		if taken > 0 {
 			return c.entry, true
 		}
 		if ent, ok := e.extract(c.sd, now, 0, 0, false); ok {
@@ -447,12 +485,12 @@ func (e *Engine) Dequeue(now clock.Time) (core.Entry, bool) {
 // (§4.3) run as a tournament of per-shard PeekRange results.
 func (e *Engine) DequeueRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
 	for attempt := 0; attempt < dequeueRetries; attempt++ {
-		c, found, taken := e.tournament(now, lo, hi, true, true)
+		c, found, taken := e.tournament(now, lo, hi, true, 1, nil)
 		if !found {
 			e.emptyDequeues.Add(1)
 			return core.Entry{}, false
 		}
-		if taken {
+		if taken > 0 {
 			return c.entry, true
 		}
 		if ent, ok := e.extract(c.sd, now, lo, hi, true); ok {
@@ -482,13 +520,13 @@ func (e *Engine) DequeueFlow(id uint32) (core.Entry, bool) {
 
 // Peek implements backend.Peeker via the tournament, without extraction.
 func (e *Engine) Peek(now clock.Time) (core.Entry, bool) {
-	c, found, _ := e.tournament(now, 0, 0, false, false)
+	c, found, _ := e.tournament(now, 0, 0, false, 0, nil)
 	return c.entry, found
 }
 
 // PeekRange implements backend.Peeker.
 func (e *Engine) PeekRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
-	c, found, _ := e.tournament(now, lo, hi, true, false)
+	c, found, _ := e.tournament(now, lo, hi, true, 0, nil)
 	return c.entry, found
 }
 

@@ -104,6 +104,9 @@ type (
 	RankRanger       = backend.RankRanger
 	InvariantChecker = backend.InvariantChecker
 	HardwareModeled  = backend.HardwareModeled
+	// Batcher is the batch-operation capability: EnqueueBatch/DequeueUpTo
+	// with exact sequential semantics but amortized per-op overhead.
+	Batcher = backend.Batcher
 	// ShardedList is the concurrent PIEO engine: flows hash-partitioned
 	// across independently-locked lists, dequeue as a tournament over
 	// per-shard summaries.
@@ -126,6 +129,18 @@ func NewBackend(name string, capacity int) (Backend, error) {
 
 // BackendNames lists the registered backend names.
 func BackendNames() []string { return backend.Names() }
+
+// EnqueueBatch inserts es in order through b's native batch path when it
+// has one (SyncList under one lock hold, the sharded engine as a
+// per-shard fan-out), else through sequential Enqueue calls. It returns
+// the number accepted and the first error encountered.
+func EnqueueBatch(b Backend, es []Entry) (int, error) { return backend.EnqueueBatch(b, es) }
+
+// DequeueUpTo extracts up to k eligible elements at now, appending them
+// to out (which may be nil) and returning the extended slice.
+func DequeueUpTo(b Backend, now Time, k int, out []Entry) []Entry {
+	return backend.DequeueUpTo(b, now, k, out)
+}
 
 // Scheduler framework types (§3.2).
 type (

@@ -54,6 +54,26 @@ func (s *SyncList) Dequeue(now Time) (Entry, bool) {
 	return s.b.Dequeue(now)
 }
 
+// EnqueueBatch inserts es in order under ONE lock acquisition — the
+// batch amortization this wrapper can offer — delegating to the wrapped
+// backend's native batch path when it has one (backend.EnqueueBatch
+// falls back to the per-op loop otherwise). Semantics match sequential
+// Enqueue calls exactly: every entry is attempted, and the return is the
+// accepted count plus the first error.
+func (s *SyncList) EnqueueBatch(es []Entry) (int, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return backend.EnqueueBatch(s.b, es)
+}
+
+// DequeueUpTo extracts up to k eligible elements at now under one lock
+// acquisition, appending them to out (see backend.Batcher).
+func (s *SyncList) DequeueUpTo(now Time, k int, out []Entry) []Entry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return backend.DequeueUpTo(s.b, now, k, out)
+}
+
 // DequeueFlow extracts a specific element by id.
 func (s *SyncList) DequeueFlow(id uint32) (Entry, bool) {
 	s.mu.Lock()
@@ -120,4 +140,7 @@ func (s *SyncList) CheckInvariants() error {
 	return backend.CheckInvariants(s.b)
 }
 
-var _ backend.Backend = (*SyncList)(nil)
+var (
+	_ backend.Backend = (*SyncList)(nil)
+	_ backend.Batcher = (*SyncList)(nil)
+)
