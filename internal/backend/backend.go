@@ -138,20 +138,30 @@ func CheckInvariants(b Backend) error {
 // UpdateRank atomically re-ranks id on backends that support it; on other
 // backends it falls back to DequeueFlow + Enqueue (not atomic with respect
 // to concurrent readers, which is fine for single-threaded consumers).
-func UpdateRank(b Backend, id uint32, rank uint64, sendTime clock.Time) bool {
+// When the re-enqueue half fails (an injected fault, or a concurrent
+// producer stealing the freed slot on a racy backend), the dequeued
+// element is restored with its original attributes and the failure is
+// returned as an error instead of panicking; the element is lost only if
+// the restore fails too, and the error says so explicitly.
+func UpdateRank(b Backend, id uint32, rank uint64, sendTime clock.Time) (bool, error) {
 	if u, ok := b.(RankUpdater); ok {
-		return u.UpdateRank(id, rank, sendTime)
+		return u.UpdateRank(id, rank, sendTime), nil
 	}
-	e, ok := b.DequeueFlow(id)
+	orig, ok := b.DequeueFlow(id)
 	if !ok {
-		return false
+		return false, nil
 	}
+	e := orig
 	e.Rank = rank
 	e.SendTime = sendTime
 	if err := b.Enqueue(e); err != nil {
-		panic(fmt.Sprintf("backend: UpdateRank re-enqueue failed: %v", err))
+		if rerr := b.Enqueue(orig); rerr != nil {
+			return false, fmt.Errorf(
+				"backend: UpdateRank re-enqueue failed (%w) and restore of %d failed (%v): element lost", err, id, rerr)
+		}
+		return false, fmt.Errorf("backend: UpdateRank re-enqueue failed: %w", err)
 	}
-	return true
+	return true, nil
 }
 
 // --- Registry ---

@@ -37,6 +37,21 @@ func (c *CoreList) Stats() Stats {
 // counters.
 func (c *CoreList) HardwareStats() core.Stats { return c.List.Stats() }
 
+// PeekMax implements Evictor in O(1) off the Ordered-Sublist-Array tail.
+func (c *CoreList) PeekMax() (core.Entry, bool) { return c.List.MaxRankEntry() }
+
+// EvictMax implements Evictor: the victim identified by PeekMax is
+// extracted through the §5.2 dequeue(f) datapath.
+func (c *CoreList) EvictMax() (core.Entry, bool) {
+	e, ok := c.List.MaxRankEntry()
+	if !ok {
+		return core.Entry{}, false
+	}
+	return c.List.DequeueFlow(e.ID)
+}
+
+var _ Evictor = (*CoreList)(nil)
+
 // The embedded list's native EnqueueBatch/DequeueUpTo promote to the
 // optional batch capability.
 var _ Batcher = (*CoreList)(nil)

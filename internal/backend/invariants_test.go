@@ -1,0 +1,140 @@
+package backend_test
+
+import (
+	"fmt"
+	"testing"
+
+	"pieo/internal/backend"
+	"pieo/internal/clock"
+	"pieo/internal/core"
+	"pieo/internal/faultinject"
+	_ "pieo/internal/refmodel" // registers "ref"
+	_ "pieo/internal/shard"    // registers "sharded"
+)
+
+// invLCG is a tiny deterministic generator so every backend sees the
+// identical operation stream.
+type invLCG uint64
+
+func (r *invLCG) next() uint64 {
+	*r = *r*6364136223846793005 + 1442695040888963407
+	return uint64(*r >> 16)
+}
+
+// stormBackend drives a deterministic mixed workload against b, calling
+// backend.CheckInvariants periodically and returning the set of IDs
+// still resident according to acceptance/delivery bookkeeping.
+func stormBackend(t *testing.T, b backend.Backend, seed uint64, ops int) map[uint32]bool {
+	t.Helper()
+	rng := invLCG(seed)
+	resident := make(map[uint32]bool)
+	nextID := uint32(1)
+	for op := 0; op < ops; op++ {
+		switch rng.next() % 5 {
+		case 0, 1:
+			id := nextID
+			nextID++
+			ent := core.Entry{ID: id, Rank: rng.next() % 500, SendTime: clock.Time(rng.next() % 32)}
+			if err := b.Enqueue(ent); err == nil {
+				resident[id] = true
+			}
+		case 2:
+			if ent, ok := b.Dequeue(clock.Time(rng.next() % 64)); ok {
+				if !resident[ent.ID] {
+					t.Fatalf("op %d: dequeued id %d that was never accepted", op, ent.ID)
+				}
+				delete(resident, ent.ID)
+			}
+		case 3:
+			id := uint32(rng.next()%uint64(nextID)) + 1
+			if ent, ok := b.DequeueFlow(id); ok {
+				if !resident[ent.ID] {
+					t.Fatalf("op %d: point-dequeued id %d that was never accepted", op, ent.ID)
+				}
+				delete(resident, ent.ID)
+			}
+		case 4:
+			id := uint32(rng.next()%uint64(nextID)) + 1
+			if _, err := backend.UpdateRank(b, id, rng.next()%500, clock.Time(rng.next()%32)); err != nil {
+				t.Fatalf("op %d: UpdateRank(%d): %v", op, id, err)
+			}
+		}
+		if op%512 == 0 {
+			if err := backend.CheckInvariants(b); err != nil {
+				t.Fatalf("invariants after op %d: %v", op, err)
+			}
+		}
+	}
+	return resident
+}
+
+// TestCheckInvariantsAllBackends runs the structural validator against
+// every registered backend through a deterministic mixed workload —
+// including mid-stream checks, a post-storm check, and a post-drain
+// check on the empty structure.
+func TestCheckInvariantsAllBackends(t *testing.T) {
+	names := backend.Names()
+	want := map[string]bool{"approx": false, "core": false, "pifo": false, "ref": false, "sharded": false}
+	for _, name := range names {
+		if _, known := want[name]; known {
+			want[name] = true
+		}
+	}
+	for name, seen := range want {
+		if !seen {
+			t.Fatalf("backend %q not registered (have %v)", name, names)
+		}
+	}
+	for _, name := range names {
+		t.Run(name, func(t *testing.T) {
+			b, err := backend.New(name, 256)
+			if err != nil {
+				t.Fatalf("construct: %v", err)
+			}
+			resident := stormBackend(t, b, 9, 6000)
+			if err := backend.CheckInvariants(b); err != nil {
+				t.Fatalf("post-storm invariants: %v", err)
+			}
+			if b.Len() != len(resident) {
+				t.Fatalf("backend holds %d, bookkeeping says %d", b.Len(), len(resident))
+			}
+			for b.Len() > 0 {
+				if _, ok := b.Dequeue(clock.Time(1 << 60)); !ok {
+					t.Fatalf("drain stalled with %d resident", b.Len())
+				}
+			}
+			if err := backend.CheckInvariants(b); err != nil {
+				t.Fatalf("post-drain invariants: %v", err)
+			}
+		})
+	}
+}
+
+// TestCheckInvariantsPostFault repeats the sweep with the fault-injection
+// wrapper interposed: injected errors and capacity squeezes must leave
+// every backend structurally clean, because a shed arrival never touches
+// the inner structure.
+func TestCheckInvariantsPostFault(t *testing.T) {
+	for _, name := range backend.Names() {
+		t.Run(name, func(t *testing.T) {
+			inner, err := backend.New(name, 256)
+			if err != nil {
+				t.Fatalf("construct: %v", err)
+			}
+			inj := faultinject.NewInjector(faultinject.Plan{Seed: 77, ErrorEvery: 17, SqueezeEvery: 29, SqueezeLen: 3})
+			b := faultinject.Wrap(inner, inj)
+			stormBackend(t, b, 13, 6000)
+			inj.Disarm()
+			if err := backend.CheckInvariants(inner); err != nil {
+				t.Fatalf("post-fault invariants: %v", err)
+			}
+			if inj.Stats().Injected == 0 || inj.Stats().Squeezes == 0 {
+				t.Fatalf("fault schedules never fired on %s: %+v", name, inj.Stats())
+			}
+			if got, wantLen := b.Len(), inner.Len(); got != wantLen {
+				t.Fatalf("wrapper Len %d != inner Len %d", got, wantLen)
+			}
+			_ = fmt.Sprintf("%v", b.DeclaredDrops()) // drop log must be readable post-storm
+		})
+	}
+}

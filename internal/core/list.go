@@ -86,6 +86,14 @@ var (
 	// ErrDuplicate is returned by Enqueue when the ID is already queued;
 	// a flow appears at most once in the scheduler's ordered list (§3.2).
 	ErrDuplicate = errors.New("pieo: id already enqueued")
+	// ErrShardDown is returned by sharded backends when an operation
+	// cannot be served because the responsible partition is quarantined
+	// (and, for writes, no healthy partition could absorb the traffic).
+	ErrShardDown = errors.New("pieo: shard down")
+	// ErrUnknownFlow is recorded by scheduler layers when an ordered list
+	// yields an ID with no registered flow state — a wiring fault between
+	// the list and the flow table.
+	ErrUnknownFlow = errors.New("pieo: unknown flow")
 )
 
 // Stats counts the work performed by the list, in hardware terms.
@@ -705,6 +713,29 @@ func (l *List) MinSendTime() (clock.Time, bool) {
 		}
 	}
 	return minT, true
+}
+
+// MaxRankEntry returns the largest-(rank, FIFO) element — the push-out
+// victim a rank-aware admission policy evicts when a higher-priority
+// arrival meets a full list. O(1): the last active sublist tails the
+// global rank order, and its last entry tails the sublist order. Among
+// equal maximal ranks the newest arrival is returned, so push-out sheds
+// the element fair queueing would have served last. ok is false when the
+// list is empty.
+func (l *List) MaxRankEntry() (Entry, bool) {
+	e, _, ok := l.MaxRankEntrySeq()
+	return e, ok
+}
+
+// MaxRankEntrySeq is MaxRankEntry plus the element's FIFO sequence, for
+// sharded engines that compare victims across partitions.
+func (l *List) MaxRankEntrySeq() (Entry, uint64, bool) {
+	if l.active == 0 {
+		return Entry{}, 0, false
+	}
+	sl := &l.sublists[l.order[l.active-1].sublistID]
+	elem := sl.entries[sl.len()-1]
+	return elem.Entry, elem.seq, true
 }
 
 // extractAt removes entry idx from the sublist at order position pos and

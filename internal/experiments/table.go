@@ -98,6 +98,7 @@ var registry = map[string]Runner{
 	"wfi":       WFI,
 	"hier3":     Hier3,
 	"hotpath":   Hotpath,
+	"overload":  Overload,
 }
 
 // IDs returns the registered experiment ids, sorted.

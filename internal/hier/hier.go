@@ -116,6 +116,13 @@ func (n *Node) AddFlow(id flowq.FlowID) *Child {
 type Hierarchy struct {
 	LinkRateGbps float64
 
+	// Strict preserves the historical failure contract: a failed
+	// logical-PIEO insert panics. NewOn defaults it to true; non-strict
+	// hierarchies count the fault in FaultStats and leave the child out
+	// of its parent's logical PIEO until its next activation (the
+	// degraded behavior: that subtree loses its turn, nothing crashes).
+	Strict bool
+
 	root     *Node
 	levels   []backend.Backend // levels[d] holds the children of depth-d nodes
 	wall     []bool            // levels[d] predicates live in the wall-clock domain
@@ -124,6 +131,9 @@ type Hierarchy struct {
 	parentOf map[flowq.FlowID]*Node
 	byID     []map[uint32]*Child // per depth: child-index -> Child
 	built    bool
+
+	faults  backend.FaultStats // non-strict fault counters
+	lastErr error              // most recent non-strict fault
 }
 
 // New creates an empty hierarchy whose root schedules its children with
@@ -150,6 +160,7 @@ func NewOn(linkRateGbps float64, rootPolicy *Policy, factory func(capacity int) 
 	}
 	h := &Hierarchy{
 		LinkRateGbps: linkRateGbps,
+		Strict:       true,
 		factory:      factory,
 		leaves:       make(map[flowq.FlowID]*Child),
 		parentOf:     make(map[flowq.FlowID]*Node),
@@ -157,6 +168,12 @@ func NewOn(linkRateGbps float64, rootPolicy *Policy, factory func(capacity int) 
 	h.root = &Node{Name: "root", Policy: rootPolicy, h: h}
 	return h
 }
+
+// FaultStats returns the non-strict fault counters.
+func (h *Hierarchy) FaultStats() backend.FaultStats { return h.faults }
+
+// LastFault returns the most recent non-strict fault, nil if none.
+func (h *Hierarchy) LastFault() error { return h.lastErr }
 
 // Root returns the root node.
 func (h *Hierarchy) Root() *Node { return h.root }
@@ -277,7 +294,14 @@ func (h *Hierarchy) enqueueChild(now clock.Time, n *Node, c *Child) {
 	}
 	n.Policy.preEnqueue(n, now, c)
 	if err := list.Enqueue(core.Entry{ID: c.ID, Rank: c.Rank, SendTime: c.SendTime}); err != nil {
-		panic(fmt.Sprintf("hier: enqueue child %d at depth %d: %v", c.ID, n.depth, err))
+		if h.Strict {
+			panic(fmt.Sprintf("hier: enqueue child %d at depth %d: %v", c.ID, n.depth, err))
+		}
+		// Degraded: the child stays out of its parent's logical PIEO and
+		// loses its turn until the next activation re-attempts the insert.
+		h.faults.EnqueueFailures++
+		h.lastErr = fmt.Errorf("hier: enqueue child %d at depth %d: %w", c.ID, n.depth, err)
+		return
 	}
 	n.active++
 	if n.parent != nil {
@@ -355,7 +379,12 @@ func (h *Hierarchy) descend(n *Node, now clock.Time, path *[]pathStep) bool {
 			n.Policy.preEnqueue(n, now, c)
 			c.requeued = false
 			if err := list.Enqueue(core.Entry{ID: c.ID, Rank: c.Rank, SendTime: c.SendTime}); err != nil {
-				panic(fmt.Sprintf("hier: re-enqueue deferred child %d: %v", c.ID, err))
+				if h.Strict {
+					panic(fmt.Sprintf("hier: re-enqueue deferred child %d: %v", c.ID, err))
+				}
+				h.faults.EnqueueFailures++
+				h.lastErr = fmt.Errorf("hier: re-enqueue deferred child %d: %w", c.ID, err)
+				continue
 			}
 			n.active++
 		}
@@ -376,7 +405,14 @@ func (h *Hierarchy) descend(n *Node, now clock.Time, path *[]pathStep) bool {
 		n.active--
 		c := h.byID[n.depth][e.ID]
 		if c == nil {
-			panic(fmt.Sprintf("hier: depth %d returned unknown child %d", n.depth, e.ID))
+			if h.Strict {
+				panic(fmt.Sprintf("hier: depth %d returned unknown child %d", n.depth, e.ID))
+			}
+			// A core.ErrUnknownFlow condition: discard the phantom element
+			// and keep descending.
+			h.faults.UnknownFlows++
+			h.lastErr = fmt.Errorf("%w: depth %d returned id %d", core.ErrUnknownFlow, n.depth, e.ID)
+			continue
 		}
 		if c.IsLeaf() {
 			*path = append(*path, pathStep{n, c})

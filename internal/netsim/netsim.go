@@ -66,6 +66,13 @@ type BackendReporter interface {
 	BackendStats() backend.Stats
 }
 
+// FaultReporter is implemented by schedulers that run with a non-strict
+// failure contract and count faults and admission decisions instead of
+// panicking (sched.Scheduler, hier.Hierarchy).
+type FaultReporter interface {
+	FaultStats() backend.FaultStats
+}
+
 // Sim couples a link, a scheduler, and an event queue.
 type Sim struct {
 	// OnTransmit, if set, is invoked when a packet finishes
@@ -105,6 +112,15 @@ func (s *Sim) BackendStats() backend.Stats {
 		return r.BackendStats()
 	}
 	return backend.Stats{}
+}
+
+// FaultStats returns the scheduler's non-strict fault and admission
+// counters, or zeroes when the scheduler does not report them.
+func (s *Sim) FaultStats() backend.FaultStats {
+	if r, ok := s.sched.(FaultReporter); ok {
+		return r.FaultStats()
+	}
+	return backend.FaultStats{}
 }
 
 // Utilization returns the fraction of elapsed time the link was busy.

@@ -14,6 +14,7 @@
 package sched
 
 import (
+	"errors"
 	"fmt"
 
 	"pieo/internal/backend"
@@ -154,9 +155,26 @@ type Scheduler struct {
 	// convert packet wire time into per-flow virtual service (WF²Q+).
 	SumWeights uint64
 
+	// Admission selects what happens when the ordered list is full and a
+	// flow must enter it (see backend.AdmissionPolicy): reject, tail-drop,
+	// or rank-aware push-out. It applies only in non-strict mode — strict
+	// mode preserves the historical panic-on-full contract.
+	Admission backend.AdmissionPolicy
+
+	// Strict preserves the historical failure contract: any ordered-list
+	// fault (full list, failed batch insert, unknown flow from a dequeue,
+	// spin-guard trip) panics. New/NewOn default it to true so existing
+	// deployments and tests keep exact behavior; overload and chaos
+	// configurations clear it, and every such condition is then counted
+	// in FaultStats, shed as declared drops, and never panics.
+	Strict bool
+
 	flows   map[flowq.FlowID]*Flow
 	pending []flowq.Packet // burst left over from a multi-packet PostDequeue
 	drops   uint64         // packets tail-dropped at full flow queues
+
+	faults  backend.FaultStats // non-strict fault and admission counters
+	lastErr error              // most recent non-strict fault, for diagnosis
 
 	arrivalBatch []core.Entry // OnArrivalBatch scratch, reused across calls
 }
@@ -185,7 +203,30 @@ func NewOn(prog *Program, b backend.Backend, linkRateGbps float64) *Scheduler {
 		Prog:         prog,
 		List:         b,
 		LinkRateGbps: linkRateGbps,
+		Strict:       true,
 		flows:        make(map[flowq.FlowID]*Flow),
+	}
+}
+
+// FaultStats returns the non-strict fault and admission counters.
+func (s *Scheduler) FaultStats() backend.FaultStats { return s.faults }
+
+// LastFault returns the most recent non-strict fault, nil if none.
+func (s *Scheduler) LastFault() error { return s.lastErr }
+
+// fault records a non-strict fault for diagnosis.
+func (s *Scheduler) fault(err error) { s.lastErr = err }
+
+// flushFlow sheds f's entire queued backlog as declared drops — the
+// overload/fault response when f cannot (re-)enter the ordered list: a
+// flow outside the list is never scheduled, so keeping its packets would
+// stall them silently; dropping them keeps conservation auditable.
+func (s *Scheduler) flushFlow(f *Flow) {
+	for {
+		if _, ok := f.Queue.Pop(); !ok {
+			break
+		}
+		s.faults.DroppedPackets++
 	}
 }
 
@@ -305,7 +346,31 @@ func (s *Scheduler) OnArrivalBatch(now clock.Time, ps []flowq.Packet) {
 		return
 	}
 	if _, err := backend.EnqueueBatch(s.List, batch); err != nil {
-		panic(fmt.Sprintf("sched: batch enqueue: %v", err))
+		if s.Strict {
+			panic(fmt.Sprintf("sched: batch enqueue: %v", err))
+		}
+		// At least one insert failed. Re-check each batched flow: one
+		// whose entry did not land would stall outside the list, so its
+		// backlog is shed as declared drops (full lists go through the
+		// per-flow admission path for policy handling).
+		s.faults.BatchEnqueueFailures++
+		s.fault(fmt.Errorf("sched: batch enqueue: %w", err))
+		for _, ent := range batch {
+			if s.List.Contains(ent.ID) {
+				continue
+			}
+			f := s.flows[flowq.FlowID(ent.ID)]
+			if f == nil {
+				continue
+			}
+			if errors.Is(err, core.ErrFull) {
+				// Retry through the admission policy, which decides
+				// between reject, tail-drop, and push-out per flow.
+				s.EnqueueFlow(now, f)
+				continue
+			}
+			s.flushFlow(f)
+		}
 	}
 }
 
@@ -334,7 +399,14 @@ func (s *Scheduler) NextPacket(now clock.Time) (flowq.Packet, bool) {
 	retriedIdle := false
 	for spins := 0; ; spins++ {
 		if spins > 1<<22 {
-			panic(fmt.Sprintf("sched: program %q made no progress after %d dequeues", s.Prog.Name, spins))
+			if s.Strict {
+				panic(fmt.Sprintf("sched: program %q made no progress after %d dequeues", s.Prog.Name, spins))
+			}
+			// Non-strict: a misbehaving program surfaces as a counted
+			// fault and an idle link instead of a crash.
+			s.faults.SpinGuardTrips++
+			s.fault(fmt.Errorf("sched: program %q made no progress after %d dequeues", s.Prog.Name, spins))
+			return flowq.Packet{}, false
 		}
 		e, ok := s.List.Dequeue(t)
 		if !ok {
@@ -349,7 +421,15 @@ func (s *Scheduler) NextPacket(now clock.Time) (flowq.Packet, bool) {
 		}
 		f := s.flows[flowq.FlowID(e.ID)]
 		if f == nil {
-			panic(fmt.Sprintf("sched: list returned unknown flow %d", e.ID))
+			if s.Strict {
+				panic(fmt.Sprintf("sched: list returned unknown flow %d", e.ID))
+			}
+			// The extracted element references no flow state (a
+			// core.ErrUnknownFlow condition): discard it and keep
+			// scheduling — the list is already consistent again.
+			s.faults.UnknownFlows++
+			s.fault(fmt.Errorf("%w: list returned id %d", core.ErrUnknownFlow, e.ID))
+			continue
 		}
 		var burst []flowq.Packet
 		if s.Prog.PostDequeue != nil {
@@ -371,7 +451,15 @@ func (s *Scheduler) NextPacket(now clock.Time) (flowq.Packet, bool) {
 func (s *Scheduler) DefaultPostDequeue(now clock.Time, f *Flow) []flowq.Packet {
 	p, ok := f.Queue.Pop()
 	if !ok {
-		panic(fmt.Sprintf("sched: flow %d scheduled with empty queue", f.ID))
+		if s.Strict {
+			panic(fmt.Sprintf("sched: flow %d scheduled with empty queue", f.ID))
+		}
+		// A fault path (admission flush, chaotic backend) emptied the
+		// queue while the flow's entry was still in flight: a phantom
+		// extraction, counted like an unknown flow.
+		s.faults.UnknownFlows++
+		s.fault(fmt.Errorf("%w: flow %d scheduled with empty queue", core.ErrUnknownFlow, f.ID))
+		return nil
 	}
 	if !f.Queue.Empty() {
 		s.EnqueueFlow(now, f)
@@ -385,13 +473,47 @@ func (s *Scheduler) DefaultPostDequeue(now clock.Time, f *Flow) []flowq.Packet {
 // and send time; under the input-triggered model the flow adopts its head
 // packet's precomputed attributes. Blocked flows (§4.4) and flows already
 // in the list are left alone.
+//
+// In strict mode an insert failure panics (the historical contract). In
+// non-strict mode a full list is resolved by the Admission policy — the
+// rejected party's backlog (the arriving flow's, or under push-out the
+// evicted victim's) is shed as declared drops — and any other failure is
+// counted in FaultStats with the arriving flow's backlog shed, so a flow
+// never silently stalls outside the list.
 func (s *Scheduler) EnqueueFlow(now clock.Time, f *Flow) {
 	ent, ok := s.prepareEntry(now, f)
 	if !ok {
 		return
 	}
-	if err := s.List.Enqueue(ent); err != nil {
-		panic(fmt.Sprintf("sched: enqueue flow %d: %v", f.ID, err))
+	if s.Strict {
+		if err := s.List.Enqueue(ent); err != nil {
+			panic(fmt.Sprintf("sched: enqueue flow %d: %v", f.ID, err))
+		}
+		return
+	}
+	out, err := backend.Admit(s.List, s.Admission, ent)
+	switch {
+	case err == nil:
+		if out.DidEvict {
+			s.faults.AdmissionEvictions++
+			if vf := s.flows[flowq.FlowID(out.Evicted.ID)]; vf != nil {
+				s.flushFlow(vf)
+			}
+		}
+		if out.DroppedArrival {
+			s.faults.AdmissionTailDrops++
+			s.flushFlow(f)
+		}
+	case errors.Is(err, core.ErrFull): // AdmitReject surfaced the full list
+		s.faults.AdmissionRejects++
+		s.flushFlow(f)
+	case errors.Is(err, core.ErrDuplicate):
+		// Benign: the flow is already queued (an idempotent re-enqueue
+		// race the Contains pre-check missed).
+	default:
+		s.faults.EnqueueFailures++
+		s.fault(fmt.Errorf("sched: enqueue flow %d: %w", f.ID, err))
+		s.flushFlow(f)
 	}
 }
 

@@ -32,8 +32,16 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 	if m == 0 {
 		return 0, nil
 	}
-	if e.size.Add(int64(m)) > int64(e.capacity) {
+	e.opTick()
+	// Degraded mode takes the per-entry path: Enqueue owns the
+	// probe-around-quarantine and off-home bookkeeping, and the batch fast
+	// path's one-lock-per-shard walk assumes the clean home partitioning.
+	slow := e.degraded()
+	if !slow && e.size.Add(int64(m)) > int64(e.capacity) {
 		e.size.Add(int64(-m))
+		slow = true
+	}
+	if slow {
 		accepted := 0
 		var firstErr error
 		for i := range es {
@@ -55,41 +63,97 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 	// order, not density), exactly like a failed single Enqueue.
 	base := e.seq.Add(uint64(m)) - uint64(m) // entry i gets base+1+i
 	accepted := 0
+	slotsKept := 0 // entries that keep their batch-reserved capacity slot
 	var firstErr error
 	firstErrIdx := m
-	for _, sd := range e.shards {
+	var fallback []int // entries rerouted per-entry after a mid-batch quarantine
+	for si, sd := range e.shards {
 		locked := false
+		failed := false
 		minSend := clock.Never
+		inserted := 0
 		for i := range es {
-			if e.shardOf(es[i].ID) != sd {
+			if e.homeIdx(es[i].ID) != si {
+				continue
+			}
+			if failed {
+				fallback = append(fallback, i)
 				continue
 			}
 			if !locked {
 				sd.mu.Lock()
+				if sd.down {
+					// Quarantined since the degraded check: this shard's
+					// entries reroute through Enqueue's probe path.
+					sd.mu.Unlock()
+					failed = true
+					fallback = append(fallback, i)
+					continue
+				}
 				locked = true
 			}
-			if err := sd.list.EnqueueSeq(es[i], base+1+uint64(i)); err != nil {
+			var lerr error
+			perr := e.protect(si, sd, OpEnqueue, func(l *core.List) {
+				sd.resident++
+				lerr = l.EnqueueSeq(es[i], base+1+uint64(i))
+				if lerr != nil {
+					sd.resident--
+				}
+			})
+			if perr != nil {
+				// Quarantined mid-batch under our own lock hold.
+				sd.mu.Unlock()
+				locked = false
+				failed = true
+				if e.salvageHas(sd, es[i].ID) {
+					// Queued (the salvage holds it): keeps its batch slot.
+					// A pre-counted insert that never landed reconciles
+					// through the quarantine's declared-loss accounting.
+					accepted++
+					slotsKept++
+				} else {
+					fallback = append(fallback, i)
+				}
+				continue
+			}
+			if lerr != nil {
 				if i < firstErrIdx {
 					firstErrIdx = i
-					firstErr = err
+					firstErr = lerr
 				}
 				continue
 			}
 			accepted++
+			slotsKept++
+			inserted++
 			if es[i].SendTime < minSend {
 				minSend = es[i].SendTime
 			}
 		}
 		if locked {
-			// One summary publish per shard: the minRank read is exact
-			// regardless of how many inserts preceded it, and the minSend
-			// lower bound only needs the batch minimum.
-			sd.noteMutation(minSend)
+			if inserted > 0 {
+				// One summary publish per shard: the minRank read is exact
+				// regardless of how many inserts preceded it, and the
+				// minSend lower bound only needs the batch minimum.
+				sd.noteMutation(minSend)
+			}
 			sd.mu.Unlock()
 		}
 	}
-	if accepted < m {
-		e.size.Add(int64(accepted - m))
+	// Rerouted entries reserve their own slots inside Enqueue, so they are
+	// excluded from the batch-slot ledger regardless of outcome.
+	for _, i := range fallback {
+		if err := e.Enqueue(es[i]); err != nil {
+			if i < firstErrIdx {
+				firstErrIdx = i
+				firstErr = err
+			}
+			continue
+		}
+		accepted++
+	}
+	if slotsKept < m {
+		e.size.Add(int64(slotsKept - m))
 	}
 	return accepted, firstErr
 }
@@ -101,6 +165,7 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 // tournament plus one lock acquisition per run of same-shard winners
 // rather than per element.
 func (e *Engine) DequeueUpTo(now clock.Time, k int, out []core.Entry) []core.Entry {
+	e.opTick()
 	for k > 0 {
 		progressed := false
 		for attempt := 0; attempt < dequeueRetries; attempt++ {
@@ -116,7 +181,7 @@ func (e *Engine) DequeueUpTo(now clock.Time, k int, out []core.Entry) []core.Ent
 			}
 			// Tie or race: fall back to the single-element extraction the
 			// plain Dequeue path uses.
-			if ent, ok := e.extract(c.sd, now, 0, 0, false); ok {
+			if ent, ok := e.extract(c.idx, c.sd, now, 0, 0, false); ok {
 				out = append(out, ent)
 				k--
 				progressed = true

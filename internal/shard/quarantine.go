@@ -1,0 +1,420 @@
+// Shard fault isolation: the quarantine/salvage/rebuild state machine.
+//
+// A panic inside one shard's core.List — induced by the fault-injection
+// hook, or genuine structural corruption (the engine itself panics on
+// invariant violations like a dequeue losing an element a peek saw) —
+// must not take down the whole engine: the other K-1 shards hold healthy
+// traffic that a crash would destroy. Instead the failing shard is
+// QUARANTINED under its own lock, in the panic's recover:
+//
+//  1. Salvage. A recover-guarded snapshot pulls whatever entries the
+//     broken structure can still yield (deduplicated by ID — a panic
+//     mid-shift can double-expose an element). Entries the snapshot
+//     cannot recover are DECLARED LOST: subtracted from the engine size
+//     and counted in FaultStats.LostEntries, so conservation audits can
+//     reconcile exactly.
+//  2. Degrade. The shard's list is dropped, its summaries are emptied
+//     (the dequeue tournament then prunes it for free), and its downFlag
+//     routes new traffic around it: enqueues probe forward to the next
+//     healthy shard (those entries are tracked as "off-home" so point
+//     lookups know to widen), point lookups treat salvaged IDs as
+//     present-but-unavailable.
+//  3. Rebuild. After a backoff measured in engine operations (doubling
+//     per failed attempt, bounded), the salvage is replayed with its
+//     original FIFO sequence numbers into a fresh list, validated, and
+//     installed; the shard rejoins and traffic rehashes back naturally
+//     as off-home entries drain. After maxRebuildAttempts failures the
+//     salvage itself is declared lost and the shard rejoins empty —
+//     bounded unavailability is the contract, not infinite retry.
+//
+// Everything here assumes the engine's locking discipline: per-shard
+// state is guarded by shard.mu, cross-shard state by atomics, and no two
+// shard locks are ever held at once.
+package shard
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pieo/internal/clock"
+	"pieo/internal/core"
+)
+
+// Operation labels passed to the fault hook, identifying which datapath a
+// protected section is about to run.
+const (
+	OpEnqueue     = "enqueue"
+	OpPeek        = "peek"
+	OpDequeue     = "dequeue"
+	OpDequeueFlow = "dequeue_flow"
+	OpUpdateRank  = "update_rank"
+	OpRebuild     = "rebuild"
+)
+
+const (
+	// rebuildBackoffOps is the base rebuild delay, in engine operations —
+	// op-count clocks keep the state machine deterministic under test
+	// (wall clocks would make chaos runs unreproducible).
+	rebuildBackoffOps = 64
+	// rebuildBackoffMax caps the exponential per-attempt growth.
+	rebuildBackoffMax = 4096
+	// maxRebuildAttempts bounds how long a salvage is held before it is
+	// declared lost and the shard rejoins empty.
+	maxRebuildAttempts = 8
+	// maxFaultEvents bounds the diagnostic event log.
+	maxFaultEvents = 1024
+)
+
+// faultCounters is the engine's resilience counter block.
+type faultCounters struct {
+	quarantines     atomic.Uint64
+	rebuilds        atomic.Uint64
+	rebuildFailures atomic.Uint64
+	lostEntries     atomic.Uint64
+}
+
+// FaultStats is a point-in-time snapshot of the engine's fault-handling
+// activity.
+type FaultStats struct {
+	// Quarantines counts shard panics survived by isolation.
+	Quarantines uint64
+	// Rebuilds counts successful salvage replays (shards that rejoined).
+	Rebuilds uint64
+	// RebuildFailures counts rebuild attempts that failed and backed off.
+	RebuildFailures uint64
+	// LostEntries counts elements declared lost: unrecoverable at salvage
+	// time, or abandoned with a salvage after maxRebuildAttempts.
+	LostEntries uint64
+	// DownShards is the number of currently quarantined shards.
+	DownShards int
+	// OffHomeEntries is the number of resident elements currently living
+	// away from their hash-home shard (rehashed around a quarantine).
+	OffHomeEntries int64
+}
+
+// FaultStats returns the engine's resilience counters.
+func (e *Engine) FaultStats() FaultStats {
+	return FaultStats{
+		Quarantines:     e.fstats.quarantines.Load(),
+		Rebuilds:        e.fstats.rebuilds.Load(),
+		RebuildFailures: e.fstats.rebuildFailures.Load(),
+		LostEntries:     e.fstats.lostEntries.Load(),
+		DownShards:      int(e.downShards.Load()),
+		OffHomeEntries:  e.offHome.Load(),
+	}
+}
+
+// FaultEvent is one entry in the engine's diagnostic fault log.
+type FaultEvent struct {
+	// Shard is the affected shard index.
+	Shard int
+	// Op labels the datapath that was running (Op* constants).
+	Op string
+	// Err is the panic value or rebuild error, stringified.
+	Err string
+	// Salvaged is how many entries the salvage recovered (quarantine
+	// events) or replayed (rebuild events).
+	Salvaged int
+	// Lost is how many entries were declared lost by this event.
+	Lost int
+}
+
+// FaultEvents returns a copy of the fault log (bounded at maxFaultEvents).
+func (e *Engine) FaultEvents() []FaultEvent {
+	e.eventMu.Lock()
+	defer e.eventMu.Unlock()
+	out := make([]FaultEvent, len(e.events))
+	copy(out, e.events)
+	return out
+}
+
+func (e *Engine) recordEvent(ev FaultEvent) {
+	e.eventMu.Lock()
+	if len(e.events) < maxFaultEvents {
+		e.events = append(e.events, ev)
+	}
+	e.eventMu.Unlock()
+}
+
+// SetFaultHook installs a hook invoked at the top of every protected
+// shard-list section with the shard index and operation label. A hook
+// that panics exercises the quarantine machinery — that is its purpose
+// (see internal/faultinject). It MUST be installed before the engine
+// carries traffic; it is read without synchronization afterwards.
+func (e *Engine) SetFaultHook(h func(shard int, op string)) { e.hook = h }
+
+// opTick advances the engine's operation clock and, only while degraded,
+// gives due rebuilds a chance to run. The healthy hot path pays one
+// atomic increment and one load.
+func (e *Engine) opTick() {
+	e.ops.Add(1)
+	if e.downShards.Load() != 0 {
+		e.maybeRebuild()
+	}
+}
+
+// maybeRebuild attempts every quarantined shard whose backoff has
+// expired. The unlocked pre-checks keep the degraded-mode overhead to a
+// few atomic loads per operation; tryRebuild re-validates under the lock.
+func (e *Engine) maybeRebuild() {
+	now := e.ops.Load()
+	for i, sd := range e.shards {
+		if !sd.downFlag.Load() || sd.rebuilding.Load() || now < sd.rebuildAt.Load() {
+			continue
+		}
+		e.tryRebuild(i, sd, false)
+	}
+}
+
+// Recover forces an immediate rebuild attempt on every quarantined shard,
+// ignoring backoff, and reports how many shards remain down. Callers use
+// it to bound recovery latency once a fault storm has passed (a rebuild
+// that is itself faulted still fails and backs off).
+func (e *Engine) Recover() int {
+	for i, sd := range e.shards {
+		if sd.downFlag.Load() {
+			e.tryRebuild(i, sd, true)
+		}
+	}
+	return int(e.downShards.Load())
+}
+
+// protect runs fn against the shard's list with panic isolation: a panic
+// quarantines shard i and surfaces as core.ErrShardDown instead of
+// unwinding through the caller. The caller must hold sd.mu and must have
+// checked sd.down; fn must confine its effects to this shard plus
+// engine-level counters it maintains exactly (see the residency fields).
+func (e *Engine) protect(i int, sd *shard, op string, fn func(l *core.List)) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			e.quarantineLocked(i, sd, op, r)
+			err = core.ErrShardDown
+		}
+	}()
+	if e.hook != nil {
+		e.hook(i, op)
+	}
+	fn(sd.list)
+	return nil
+}
+
+// quarantineLocked transitions shard i to the down state. Called from
+// protect's recover with sd.mu held and the list in an unknown state.
+func (e *Engine) quarantineLocked(i int, sd *shard, op string, cause any) {
+	ents, seqs := salvageSnapshot(sd.list)
+	stats := salvageStats(sd.list)
+
+	// Deduplicate by ID: a panic mid-shift can expose an element twice in
+	// the snapshot, and one copy of a queued element is the truth.
+	ids := make(map[uint32]struct{}, len(ents))
+	w := 0
+	salvagedOffHome := 0
+	for idx := range ents {
+		id := ents[idx].ID
+		if _, dup := ids[id]; dup {
+			continue
+		}
+		ids[id] = struct{}{}
+		ents[w], seqs[w] = ents[idx], seqs[idx]
+		w++
+		if e.homeIdx(id) != i {
+			salvagedOffHome++
+		}
+	}
+	ents, seqs = ents[:w], seqs[:w]
+
+	// Entries the salvage could not recover are declared lost, charged
+	// against the size counter so conservation holds; the off-home
+	// counter is reconciled the same way (lost entries of unknown
+	// identity might have been off-home, and the per-shard count knows
+	// exactly how many were).
+	lost := sd.resident - len(ents)
+	if lost < 0 {
+		lost = 0
+	}
+	e.offHome.Add(int64(salvagedOffHome - sd.offHomeResident))
+	sd.offHomeResident = salvagedOffHome
+
+	sd.down = true
+	sd.downFlag.Store(true)
+	sd.list = nil
+	sd.salvaged = ents
+	sd.salvagedSeqs = seqs
+	sd.salvageIDs = ids
+	sd.resident = len(ents)
+	addStats(&sd.statsBase, stats)
+	sd.attempts = 0
+	sd.rebuildAt.Store(e.ops.Load() + rebuildBackoffOps)
+	sd.minRank.Store(emptyRank)
+	sd.minSend.Store(uint64(clock.Never))
+
+	if lost > 0 {
+		e.size.Add(int64(-lost))
+		e.fstats.lostEntries.Add(uint64(lost))
+	}
+	e.downShards.Add(1)
+	e.fstats.quarantines.Add(1)
+	e.recordEvent(FaultEvent{
+		Shard:    i,
+		Op:       op,
+		Err:      fmt.Sprint(cause),
+		Salvaged: len(ents),
+		Lost:     lost,
+	})
+}
+
+// salvageSnapshot reads the broken list's contents, tolerating a snapshot
+// that itself panics (the corruption may extend into the walk): whatever
+// cannot be read is simply not salvaged.
+func salvageSnapshot(l *core.List) (ents []core.Entry, seqs []uint64) {
+	defer func() {
+		if recover() != nil {
+			ents, seqs = nil, nil
+		}
+	}()
+	return l.SnapshotWithSeq()
+}
+
+// salvageStats reads the broken list's datapath counters, best-effort.
+func salvageStats(l *core.List) (s core.Stats) {
+	defer func() { _ = recover() }()
+	return l.Stats()
+}
+
+// tryRebuild attempts to bring shard i back up. force skips the backoff
+// check (Recover). It reports whether the shard is up on return.
+func (e *Engine) tryRebuild(i int, sd *shard, force bool) bool {
+	if !sd.rebuilding.CompareAndSwap(false, true) {
+		return false
+	}
+	defer sd.rebuilding.Store(false)
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	if !sd.down {
+		return true
+	}
+	if !force && e.ops.Load() < sd.rebuildAt.Load() {
+		return false
+	}
+
+	fresh, rerr := e.replaySalvage(i, sd)
+	if rerr != nil {
+		sd.attempts++
+		e.fstats.rebuildFailures.Add(1)
+		if sd.attempts < maxRebuildAttempts {
+			backoff := uint64(rebuildBackoffOps) << uint(sd.attempts)
+			if backoff > rebuildBackoffMax {
+				backoff = rebuildBackoffMax
+			}
+			sd.rebuildAt.Store(e.ops.Load() + backoff)
+			e.recordEvent(FaultEvent{Shard: i, Op: OpRebuild, Err: rerr.Error(), Salvaged: len(sd.salvaged)})
+			return false
+		}
+		// The salvage cannot be replayed: declare it lost and rejoin
+		// empty rather than holding the shard down forever.
+		lost := len(sd.salvaged)
+		e.size.Add(int64(-lost))
+		e.offHome.Add(int64(-sd.offHomeResident))
+		e.fstats.lostEntries.Add(uint64(lost))
+		e.recordEvent(FaultEvent{
+			Shard: i,
+			Op:    OpRebuild,
+			Err:   fmt.Sprintf("salvage abandoned after %d attempts: %v", sd.attempts, rerr),
+			Lost:  lost,
+		})
+		fresh = core.NewWithOccupancyHint(e.capacity, e.sublistSize, e.occHint)
+		sd.resident = 0
+		sd.offHomeResident = 0
+	} else {
+		// The replay's datapath work is rebuild overhead, not engine
+		// operations; subtract it so statsBase+live stays the real
+		// history.
+		subStats(&sd.statsBase, fresh.Stats())
+		e.fstats.rebuilds.Add(1)
+		e.recordEvent(FaultEvent{Shard: i, Op: OpRebuild, Salvaged: len(sd.salvaged)})
+	}
+
+	sd.list = fresh
+	sd.salvaged, sd.salvagedSeqs, sd.salvageIDs = nil, nil, nil
+	sd.attempts = 0
+	sd.down = false
+	sd.downFlag.Store(false)
+	if r, ok := fresh.MinRank(); ok {
+		if r == emptyRank {
+			r--
+		}
+		sd.minRank.Store(r)
+	} else {
+		sd.minRank.Store(emptyRank)
+	}
+	if t, ok := fresh.MinSendTime(); ok {
+		sd.minSend.Store(uint64(t))
+	} else {
+		sd.minSend.Store(uint64(clock.Never))
+	}
+	e.downShards.Add(-1)
+	return true
+}
+
+// replaySalvage builds a fresh list and replays the salvage into it with
+// the original FIFO sequence numbers, under the same fault-injection hook
+// as live traffic (a rebuild can be faulted too) and a recover guard so a
+// replay panic is a failed attempt, not a crash. Called with sd.mu held.
+func (e *Engine) replaySalvage(i int, sd *shard) (l *core.List, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			l, err = nil, fmt.Errorf("rebuild panic: %v", r)
+		}
+	}()
+	if e.hook != nil {
+		e.hook(i, OpRebuild)
+	}
+	fresh := core.NewWithOccupancyHint(e.capacity, e.sublistSize, e.occHint)
+	for idx := range sd.salvaged {
+		if rerr := fresh.EnqueueSeq(sd.salvaged[idx], sd.salvagedSeqs[idx]); rerr != nil {
+			return nil, fmt.Errorf("replay of id %d: %w", sd.salvaged[idx].ID, rerr)
+		}
+	}
+	if cerr := fresh.CheckInvariants(); cerr != nil {
+		return nil, fmt.Errorf("rebuilt list invalid: %w", cerr)
+	}
+	return fresh, nil
+}
+
+// salvageHas reports whether id sits in sd's salvage, taking the lock
+// itself (for callers probing an unlocked down shard).
+func (e *Engine) salvageHas(sd *shard, id uint32) bool {
+	sd.mu.Lock()
+	defer sd.mu.Unlock()
+	return sd.down && mapHas(sd.salvageIDs, id)
+}
+
+func mapHas(m map[uint32]struct{}, id uint32) bool {
+	_, ok := m[id]
+	return ok
+}
+
+// residentAway reports whether id is resident anywhere its home shard's
+// own duplicate check cannot see: another shard's live list, or any
+// shard's salvage. Only consulted in degraded mode — it walks the shards,
+// which is exactly the cost exact duplicate detection requires once the
+// clean partitioning is suspended.
+func (e *Engine) residentAway(id uint32, home int) bool {
+	for i, sd := range e.shards {
+		if i == home && !sd.downFlag.Load() {
+			continue
+		}
+		sd.mu.Lock()
+		var has bool
+		if sd.down {
+			has = mapHas(sd.salvageIDs, id)
+		} else if i != home {
+			has = sd.list.Contains(id)
+		}
+		sd.mu.Unlock()
+		if has {
+			return true
+		}
+	}
+	return false
+}

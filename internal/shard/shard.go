@@ -36,6 +36,15 @@
 // occupancy (⌈√(n/K)⌉ instead of ⌈√n⌉), so sharding shortens both the
 // pointer-array scans and the sublist shifts in addition to splitting the
 // lock.
+//
+// Fault isolation: a panic inside one shard's list (induced by the fault
+// hook, or genuine corruption) quarantines THAT shard instead of taking
+// the engine down. The quarantined shard salvages a snapshot of its
+// entries, traffic rehashes around it (enqueues probe the next healthy
+// shard; the tournament prunes it via its emptied summary), and a
+// rebuild with bounded, operation-count backoff replays the salvage into
+// a fresh list before the shard rejoins. See quarantine.go for the state
+// machine and DESIGN.md §8 for the failure model.
 package shard
 
 import (
@@ -100,6 +109,30 @@ type shard struct {
 	// staleness wasted work.
 	minRank *atomic.Uint64 // emptyRank when empty
 	minSend atomic.Uint64  // lower bound; clock.Never when empty
+
+	// Exact residency bookkeeping, guarded by mu. resident mirrors
+	// list.Len() but survives a panic that leaves the list unreadable, so
+	// quarantine can compute how many entries the salvage failed to
+	// recover (declared loss) without trusting the broken structure.
+	// offHomeResident counts the subset living away from their hash-home
+	// shard, so the engine's offHome counter stays exact even when a
+	// quarantine loses entries of unknown identity.
+	resident        int
+	offHomeResident int
+
+	// Quarantine state (see quarantine.go). down is the authoritative
+	// flag, guarded by mu; downFlag mirrors it for lock-free routing
+	// checks. While down, list is nil and the salvage fields hold the
+	// entries recovered from the failed incarnation, awaiting rebuild.
+	down         bool
+	downFlag     atomic.Bool
+	rebuilding   atomic.Bool // CAS-guard: one rebuild attempt at a time
+	salvaged     []core.Entry
+	salvagedSeqs []uint64
+	salvageIDs   map[uint32]struct{}
+	statsBase    core.Stats    // datapath counters of previous incarnations
+	attempts     int           // failed rebuild attempts since quarantine
+	rebuildAt    atomic.Uint64 // engine op count when the next attempt is due
 }
 
 // noteMutation refreshes the summary after inserting (or re-ranking) an
@@ -155,7 +188,9 @@ type Engine struct {
 	// the whole array per dequeue, so read density wins.
 	minRanks []atomic.Uint64
 
-	capacity int
+	capacity    int
+	sublistSize int // per-shard list geometry, for quarantine rebuilds
+	occHint     int
 
 	size atomic.Int64  // global occupancy, enforces the shared capacity
 	seq  atomic.Uint64 // global enqueue sequence for FIFO tie-breaks
@@ -165,6 +200,20 @@ type Engine struct {
 	// atomics; only outcomes invisible to the lists are counted here.
 	emptyDequeues atomic.Uint64 // tournaments that found nothing eligible
 	updateRanks   atomic.Uint64 // successful UpdateRanks (see Stats)
+
+	// Resilience state (see quarantine.go). ops is the engine operation
+	// clock rebuild backoff is scheduled against; downShards gates every
+	// degraded-mode slow path, so the healthy hot path pays one atomic
+	// load. offHome counts entries living away from their hash-home shard
+	// (placed there while the home was quarantined); point lookups widen
+	// to a full scan only while it is non-zero.
+	ops        atomic.Uint64
+	downShards atomic.Int32
+	offHome    atomic.Int64
+	hook       func(shard int, op string) // fault-injection hook; set before traffic
+	fstats     faultCounters
+	eventMu    sync.Mutex
+	events     []FaultEvent
 }
 
 // New creates a sharded engine with total capacity n spread over k
@@ -194,9 +243,11 @@ func New(n, k int) *Engine {
 	// Hash imbalance past the hint just grows that shard's map once.
 	hint := perShard
 	e := &Engine{
-		shards:   make([]*shard, k),
-		minRanks: make([]atomic.Uint64, k),
-		capacity: n,
+		shards:      make([]*shard, k),
+		minRanks:    make([]atomic.Uint64, k),
+		capacity:    n,
+		sublistSize: s,
+		occHint:     hint,
 	}
 	for i := range e.shards {
 		e.shards[i] = &shard{
@@ -215,19 +266,30 @@ func (e *Engine) NumShards() int { return len(e.shards) }
 // Capacity returns the shared capacity.
 func (e *Engine) Capacity() int { return e.capacity }
 
-// shardOf maps a flow ID to its home shard (Fibonacci hashing — IDs are
-// often sequential, so identity modulo would put adjacent flows on
-// adjacent shards, which is fine, but a mixing hash also breaks up
+// homeIdx maps a flow ID to its home shard index (Fibonacci hashing —
+// IDs are often sequential, so identity modulo would put adjacent flows
+// on adjacent shards, which is fine, but a mixing hash also breaks up
 // strided ID patterns).
-func (e *Engine) shardOf(id uint32) *shard {
+func (e *Engine) homeIdx(id uint32) int {
 	h := uint64(id) * 0x9E3779B97F4A7C15
-	return e.shards[(h>>32)%uint64(len(e.shards))]
+	return int((h >> 32) % uint64(len(e.shards)))
+}
+
+// degraded reports whether any slow-path bookkeeping is live: a
+// quarantined shard, or residue entries placed away from their home.
+// One or two atomic loads — the healthy hot path's only resilience tax.
+func (e *Engine) degraded() bool {
+	return e.downShards.Load() != 0 || e.offHome.Load() != 0
 }
 
 // Enqueue implements backend.Backend. Producers mapped to different
 // shards proceed in parallel; the only cross-shard coordination is two
-// atomic counters (capacity reservation and the FIFO sequence).
+// atomic counters (capacity reservation and the FIFO sequence). When the
+// home shard is quarantined the entry probes forward to the next healthy
+// shard (degraded-mode rehashing); core.ErrShardDown is returned only
+// when every shard is down.
 func (e *Engine) Enqueue(ent core.Entry) error {
+	e.opTick()
 	// Reserve a capacity slot first so the full/duplicate error
 	// precedence matches a single list (full wins). Optimistic fetch-add
 	// instead of a CAS loop: a racing overshoot is rolled straight back,
@@ -238,28 +300,104 @@ func (e *Engine) Enqueue(ent core.Entry) error {
 		e.size.Add(-1)
 		return core.ErrFull
 	}
+	home := e.homeIdx(ent.ID)
+	if e.degraded() && e.residentAway(ent.ID, home) {
+		// The ID already lives off its home (or in a salvage): the home
+		// shard's own duplicate check cannot see it, so reject here.
+		e.size.Add(-1)
+		return core.ErrDuplicate
+	}
 	// Draw the FIFO sequence outside the shard lock; a failed enqueue
 	// burns it harmlessly (ties compare relative order, not density).
 	seq := e.seq.Add(1)
-	sd := e.shardOf(ent.ID)
-	sd.mu.Lock()
-	if err := sd.list.EnqueueSeq(ent, seq); err != nil {
-		// Each shard list is provisioned with the full shared capacity
-		// and a slot was reserved above, so the shard cannot be full:
-		// the only reachable failure is ErrDuplicate.
+	k := len(e.shards)
+	for probe := 0; probe < k; probe++ {
+		i := (home + probe) % k
+		sd := e.shards[i]
+		if sd.downFlag.Load() {
+			if e.salvageHas(sd, ent.ID) {
+				e.size.Add(-1)
+				return core.ErrDuplicate
+			}
+			continue
+		}
+		sd.mu.Lock()
+		if sd.down {
+			has := sd.salvageIDs != nil && mapHas(sd.salvageIDs, ent.ID)
+			sd.mu.Unlock()
+			if has {
+				e.size.Add(-1)
+				return core.ErrDuplicate
+			}
+			continue
+		}
+		var (
+			started bool
+			lerr    error
+		)
+		perr := e.protect(i, sd, OpEnqueue, func(l *core.List) {
+			// Pre-count the residency so a mid-insert panic charges the
+			// ambiguous element to this shard; quarantine reconciles the
+			// count against the salvage.
+			started = true
+			sd.resident++
+			lerr = l.EnqueueSeq(ent, seq)
+			if lerr != nil {
+				sd.resident--
+			}
+		})
+		if perr != nil {
+			// The shard quarantined mid-operation. Whether the insert
+			// landed is decided by the salvage: present and the list call
+			// ran → treat as queued (the rebuild will restore it); present
+			// without the list call running → it was already resident
+			// (duplicate); absent → not inserted, probe onward.
+			inSalvage := sd.salvageIDs != nil && mapHas(sd.salvageIDs, ent.ID)
+			sd.mu.Unlock()
+			if inSalvage {
+				if started {
+					// Queued: quarantine's salvage scan already folded this
+					// entry into the residency and off-home accounting, and
+					// the capacity slot reserved above stays held for it.
+					return nil
+				}
+				e.size.Add(-1)
+				return core.ErrDuplicate
+			}
+			if started {
+				// The insert never landed but was pre-counted as resident,
+				// so quarantine charged its reservation as a lost entry;
+				// restore the reservation for the ongoing probe.
+				e.size.Add(1)
+			}
+			continue
+		}
+		if lerr != nil {
+			// Each shard list is provisioned with the full shared capacity
+			// and a slot was reserved above, so the shard cannot be full:
+			// the only reachable failure is ErrDuplicate.
+			sd.mu.Unlock()
+			e.size.Add(-1)
+			return lerr
+		}
+		sd.noteMutation(ent.SendTime)
+		if i != home {
+			sd.offHomeResident++
+			e.offHome.Add(1)
+		}
 		sd.mu.Unlock()
-		e.size.Add(-1)
-		return err
+		return nil
 	}
-	sd.noteMutation(ent.SendTime)
-	sd.mu.Unlock()
-	return nil
+	// Every shard is quarantined: the engine cannot accept traffic.
+	e.size.Add(-1)
+	return core.ErrShardDown
 }
 
 // candidate is a tournament entrant: the element a shard would yield,
 // plus its global FIFO sequence.
 type candidate struct {
 	sd    *shard
+	idx   int
 	entry core.Entry
 	seq   uint64
 }
@@ -288,15 +426,17 @@ type candidate struct {
 // allocation-free. budget == 0 is a pure peek.
 func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget int, sink *[]core.Entry) (c candidate, found bool, taken int) {
 	type summary struct {
-		r  uint64
-		sd *shard
+		r   uint64
+		sd  *shard
+		idx int
 	}
 	// Collect from the packed minRank array only; the minSend bound is
 	// read lazily when a shard wins a selection round, so a dequeue loads
 	// K contiguous words here plus one or two minSend words below instead
 	// of 2K words scattered across K shard structs. The collect pass also
 	// tracks the smallest and second-smallest bounds, so the common case
-	// (first peek wins outright) never rescans the live array.
+	// (first peek wins outright) never rescans the live array. Quarantined
+	// shards publish emptyRank, so they are pruned here for free.
 	var live [maxShards]summary
 	n := 0
 	mi := -1          // index in live of the smallest remaining bound
@@ -306,7 +446,7 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget i
 		if r == emptyRank {
 			continue
 		}
-		live[n] = summary{r: r, sd: e.shards[i]}
+		live[n] = summary{r: r, sd: e.shards[i], idx: i}
 		if mi < 0 || r < live[mi].r {
 			if mi >= 0 && live[mi].r < next {
 				next = live[mi].r
@@ -347,6 +487,7 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget i
 			break
 		}
 		sd := live[mi].sd
+		sidx := live[mi].idx
 		live[mi].sd = nil
 		// The lazily-read eligibility bound: a shard whose most optimistic
 		// send time is still in the future cannot hold an eligible element
@@ -360,70 +501,95 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget i
 			ok  bool
 		)
 		sd.mu.Lock()
-		if ranged {
-			ent, sq, ok = sd.list.PeekRangeSeq(now, lo, hi)
-		} else {
-			ent, sq, ok = sd.list.PeekSeq(now)
-		}
-		if !ok {
-			// The summary's lower bound let an ineligible shard through;
-			// tighten it so the next tournament prunes this shard.
-			sd.refreshMinSend()
+		if sd.down {
+			// Quarantined between the summary read and the lock.
 			sd.mu.Unlock()
 			continue
 		}
-		if budget > 0 && !found && ent.Rank < next {
-			// Unbeatable: previously visited shards had nothing eligible,
-			// and every remaining shard's minimum rank already loses.
-			for {
-				var got core.Entry
-				var gok bool
-				if ranged {
-					got, gok = sd.list.DequeueRange(now, lo, hi)
-				} else {
-					got, gok = sd.list.Dequeue(now)
-				}
-				if !gok {
-					if taken == 0 {
-						// The peek above succeeded under this same lock hold.
-						panic("shard: filtered dequeue lost an element the peek saw")
-					}
-					break
-				}
-				taken++
-				if taken == 1 {
-					c = candidate{sd: sd, entry: got, seq: sq}
-				}
-				if sink != nil {
-					*sink = append(*sink, got)
-				}
-				if taken == budget {
-					break
-				}
-				// Keep draining only while the shard's next eligible head
-				// would win a rerun tournament outright.
-				var (
-					nent core.Entry
-					nok  bool
-				)
-				if ranged {
-					nent, _, nok = sd.list.PeekRangeSeq(now, lo, hi)
-				} else {
-					nent, _, nok = sd.list.PeekSeq(now)
-				}
-				if !nok || nent.Rank >= next {
-					break
-				}
+		op := OpPeek
+		if budget > 0 {
+			op = OpDequeue
+		}
+		perr := e.protect(sidx, sd, op, func(l *core.List) {
+			if ranged {
+				ent, sq, ok = l.PeekRangeSeq(now, lo, hi)
+			} else {
+				ent, sq, ok = l.PeekSeq(now)
 			}
-			sd.noteRemoval()
-			sd.mu.Unlock()
+			if !ok {
+				// The summary's lower bound let an ineligible shard
+				// through; tighten it so the next tournament prunes it.
+				sd.refreshMinSend()
+				return
+			}
+			if budget > 0 && !found && ent.Rank < next {
+				// Unbeatable: previously visited shards had nothing
+				// eligible, and every remaining shard's minimum rank
+				// already loses.
+				for {
+					var got core.Entry
+					var gok bool
+					if ranged {
+						got, gok = l.DequeueRange(now, lo, hi)
+					} else {
+						got, gok = l.Dequeue(now)
+					}
+					if !gok {
+						if taken == 0 {
+							// The peek above succeeded under this same lock
+							// hold; losing the element means the list
+							// structure is corrupt, and the protect wrapper
+							// turns this into a shard quarantine.
+							panic("shard: filtered dequeue lost an element the peek saw")
+						}
+						break
+					}
+					taken++
+					sd.resident--
+					if taken == 1 {
+						c = candidate{sd: sd, idx: sidx, entry: got, seq: sq}
+					}
+					if sink != nil {
+						*sink = append(*sink, got)
+					}
+					if e.homeIdx(got.ID) != sidx {
+						sd.offHomeResident--
+						e.offHome.Add(-1)
+					}
+					if taken == budget {
+						break
+					}
+					// Keep draining only while the shard's next eligible
+					// head would win a rerun tournament outright.
+					var (
+						nent core.Entry
+						nok  bool
+					)
+					if ranged {
+						nent, _, nok = l.PeekRangeSeq(now, lo, hi)
+					} else {
+						nent, _, nok = l.PeekSeq(now)
+					}
+					if !nok || nent.Rank >= next {
+						break
+					}
+				}
+				sd.noteRemoval()
+			}
+		})
+		sd.mu.Unlock()
+		if taken > 0 {
+			// Entries already extracted stay extracted even if the shard
+			// quarantined mid-drain: the salvage no longer holds them.
 			e.size.Add(int64(-taken))
 			return c, true, taken
 		}
-		sd.mu.Unlock()
+		if perr != nil || !ok {
+			continue
+		}
 		if !found || ent.Rank < best.entry.Rank ||
 			(ent.Rank == best.entry.Rank && sq < best.seq) {
-			best = candidate{sd: sd, entry: ent, seq: sq}
+			best = candidate{sd: sd, idx: sidx, entry: ent, seq: sq}
 			found = true
 		}
 	}
@@ -438,24 +604,41 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget i
 // the bounded inexactness the package contract allows). It reports
 // ok=false when concurrent consumers drained the shard's eligible
 // elements entirely.
-func (e *Engine) extract(sd *shard, now clock.Time, lo, hi uint32, ranged bool) (core.Entry, bool) {
+func (e *Engine) extract(idx int, sd *shard, now clock.Time, lo, hi uint32, ranged bool) (core.Entry, bool) {
 	sd.mu.Lock()
+	if sd.down {
+		sd.mu.Unlock()
+		return core.Entry{}, false
+	}
 	var (
 		ent core.Entry
 		ok  bool
 	)
-	if ranged {
-		ent, ok = sd.list.DequeueRange(now, lo, hi)
-	} else {
-		ent, ok = sd.list.Dequeue(now)
-	}
+	perr := e.protect(idx, sd, OpDequeue, func(l *core.List) {
+		if ranged {
+			ent, ok = l.DequeueRange(now, lo, hi)
+		} else {
+			ent, ok = l.Dequeue(now)
+		}
+		if !ok {
+			sd.refreshMinSend()
+			return
+		}
+		sd.resident--
+		if e.homeIdx(ent.ID) != idx {
+			sd.offHomeResident--
+			e.offHome.Add(-1)
+		}
+		sd.noteRemoval()
+	})
+	sd.mu.Unlock()
+	// ok=true means the list call itself completed: the element is out even
+	// if a later step in the closure quarantined the shard (the salvage no
+	// longer holds it), so it is delivered rather than dropped.
+	_ = perr
 	if !ok {
-		sd.refreshMinSend()
-		sd.mu.Unlock()
 		return core.Entry{}, false
 	}
-	sd.noteRemoval()
-	sd.mu.Unlock()
 	e.size.Add(-1)
 	return ent, true
 }
@@ -464,6 +647,7 @@ func (e *Engine) extract(sd *shard, now clock.Time, lo, hi uint32, ranged bool) 
 // eligible element across all shards (exact when quiescent; see the
 // package comment for the concurrent contract).
 func (e *Engine) Dequeue(now clock.Time) (core.Entry, bool) {
+	e.opTick()
 	for attempt := 0; attempt < dequeueRetries; attempt++ {
 		c, found, taken := e.tournament(now, 0, 0, false, 1, nil)
 		if !found {
@@ -473,7 +657,7 @@ func (e *Engine) Dequeue(now clock.Time) (core.Entry, bool) {
 		if taken > 0 {
 			return c.entry, true
 		}
-		if ent, ok := e.extract(c.sd, now, 0, 0, false); ok {
+		if ent, ok := e.extract(c.idx, c.sd, now, 0, 0, false); ok {
 			return ent, true
 		}
 	}
@@ -484,6 +668,7 @@ func (e *Engine) Dequeue(now clock.Time) (core.Entry, bool) {
 // DequeueRange implements backend.Backend: the logical-PIEO extraction
 // (§4.3) run as a tournament of per-shard PeekRange results.
 func (e *Engine) DequeueRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
+	e.opTick()
 	for attempt := 0; attempt < dequeueRetries; attempt++ {
 		c, found, taken := e.tournament(now, lo, hi, true, 1, nil)
 		if !found {
@@ -493,7 +678,7 @@ func (e *Engine) DequeueRange(now clock.Time, lo, hi uint32) (core.Entry, bool) 
 		if taken > 0 {
 			return c.entry, true
 		}
-		if ent, ok := e.extract(c.sd, now, lo, hi, true); ok {
+		if ent, ok := e.extract(c.idx, c.sd, now, lo, hi, true); ok {
 			return ent, true
 		}
 	}
@@ -502,20 +687,58 @@ func (e *Engine) DequeueRange(now clock.Time, lo, hi uint32) (core.Entry, bool) 
 }
 
 // DequeueFlow implements backend.Backend: a point extraction that touches
-// exactly one shard.
+// exactly one shard when the engine is healthy. In degraded mode the
+// element may live away from its home (rehashed around a quarantine) or
+// sit in a salvage; the lookup probes the home first and widens to the
+// remaining shards only then. A salvaged element reports not-found — it
+// is unavailable until its shard rebuilds — matching the contract that
+// DequeueFlow on a missing ID is a no-op.
 func (e *Engine) DequeueFlow(id uint32) (core.Entry, bool) {
-	sd := e.shardOf(id)
-	sd.mu.Lock()
-	ent, ok := sd.list.DequeueFlow(id)
-	if ok {
-		sd.noteRemoval()
+	e.opTick()
+	home := e.homeIdx(id)
+	wide := e.degraded()
+	k := len(e.shards)
+	for probe := 0; probe < k; probe++ {
+		i := (home + probe) % k
+		sd := e.shards[i]
+		sd.mu.Lock()
+		if sd.down {
+			has := sd.salvageIDs != nil && mapHas(sd.salvageIDs, id)
+			sd.mu.Unlock()
+			if has {
+				return core.Entry{}, false
+			}
+			if !wide {
+				return core.Entry{}, false
+			}
+			continue
+		}
+		var (
+			ent core.Entry
+			ok  bool
+		)
+		e.protect(i, sd, OpDequeueFlow, func(l *core.List) {
+			ent, ok = l.DequeueFlow(id)
+			if !ok {
+				return
+			}
+			sd.resident--
+			if i != home {
+				sd.offHomeResident--
+				e.offHome.Add(-1)
+			}
+			sd.noteRemoval()
+		})
+		sd.mu.Unlock()
+		if ok {
+			e.size.Add(-1)
+			return ent, true
+		}
+		if !wide {
+			return core.Entry{}, false
+		}
 	}
-	sd.mu.Unlock()
-	if !ok {
-		return core.Entry{}, false
-	}
-	e.size.Add(-1)
-	return ent, true
+	return core.Entry{}, false
 }
 
 // Peek implements backend.Peeker via the tournament, without extraction.
@@ -531,31 +754,84 @@ func (e *Engine) PeekRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
 }
 
 // UpdateRank implements backend.RankUpdater: the dequeue(f)+enqueue(f)
-// fusion stays atomic because ID determines the shard, so both halves run
-// under one shard lock. Re-ranking resets the element's FIFO position
-// from the global sequence, exactly as it does inside core.List.
+// fusion stays atomic because the element's shard holds both halves under
+// one lock. Re-ranking resets the element's FIFO position from the global
+// sequence, exactly as it does inside core.List. In degraded mode the
+// lookup widens past the home shard like DequeueFlow; a salvaged element
+// reports false (unavailable until rebuild).
 func (e *Engine) UpdateRank(id uint32, rank uint64, sendTime clock.Time) bool {
+	e.opTick()
 	seq := e.seq.Add(1)
-	sd := e.shardOf(id)
-	sd.mu.Lock()
-	defer sd.mu.Unlock()
-	if !sd.list.UpdateRankSeq(id, rank, sendTime, seq) {
-		return false
+	home := e.homeIdx(id)
+	wide := e.degraded()
+	k := len(e.shards)
+	for probe := 0; probe < k; probe++ {
+		i := (home + probe) % k
+		sd := e.shards[i]
+		sd.mu.Lock()
+		if sd.down {
+			sd.mu.Unlock()
+			if !wide {
+				return false
+			}
+			continue
+		}
+		var ok bool
+		perr := e.protect(i, sd, OpUpdateRank, func(l *core.List) {
+			ok = l.UpdateRankSeq(id, rank, sendTime, seq)
+			if ok {
+				sd.noteMutation(sendTime)
+			}
+		})
+		sd.mu.Unlock()
+		if perr != nil {
+			// Mid-op quarantine: the element (in whichever rank state the
+			// panic left it) is in the salvage and unavailable.
+			return false
+		}
+		if ok {
+			e.updateRanks.Add(1)
+			return true
+		}
+		if !wide {
+			return false
+		}
 	}
-	sd.noteMutation(sendTime)
-	e.updateRanks.Add(1)
-	return true
+	return false
 }
 
 // Len implements backend.Backend from the global occupancy counter.
 func (e *Engine) Len() int { return int(e.size.Load()) }
 
-// Contains implements backend.Backend.
+// Contains implements backend.Backend. Salvaged elements count as present
+// — they are queued, just temporarily unreachable — so idempotent
+// re-enqueue checks in the scheduler layers do not double-admit a flow
+// whose shard is mid-rebuild. In degraded mode the lookup widens past the
+// home shard.
 func (e *Engine) Contains(id uint32) bool {
-	sd := e.shardOf(id)
-	sd.mu.Lock()
-	defer sd.mu.Unlock()
-	return sd.list.Contains(id)
+	home := e.homeIdx(id)
+	wide := e.degraded()
+	k := len(e.shards)
+	for probe := 0; probe < k; probe++ {
+		i := (home + probe) % k
+		sd := e.shards[i]
+		sd.mu.Lock()
+		var has bool
+		if sd.down {
+			has = sd.salvageIDs != nil && mapHas(sd.salvageIDs, id)
+		} else {
+			has = sd.list.Contains(id)
+		}
+		down := sd.down
+		sd.mu.Unlock()
+		if has {
+			return true
+		}
+		if !wide && !down {
+			return false
+		}
+	}
+	return false
 }
 
 // MinSendTime implements backend.Backend exactly, computing each shard's
@@ -568,13 +844,28 @@ func (e *Engine) MinSendTime() (clock.Time, bool) {
 	minT := clock.Never
 	found := false
 	for _, sd := range e.shards {
-		if sd.minRank.Load() == emptyRank {
-			continue
-		}
-		if found && clock.Time(sd.minSend.Load()) >= minT {
-			continue
+		if !sd.downFlag.Load() {
+			// Quarantined shards publish an empty summary, so the pruning
+			// checks below would skip their salvaged entries — which still
+			// need to contribute wake hints. Only healthy shards may prune.
+			if sd.minRank.Load() == emptyRank {
+				continue
+			}
+			if found && clock.Time(sd.minSend.Load()) >= minT {
+				continue
+			}
 		}
 		sd.mu.Lock()
+		if sd.down {
+			for i := range sd.salvaged {
+				if t := sd.salvaged[i].SendTime; !found || t < minT {
+					minT = t
+					found = true
+				}
+			}
+			sd.mu.Unlock()
+			continue
+		}
 		t, ok := sd.list.MinSendTime()
 		if ok {
 			// Tighten the pruning bound while the exact value is in hand.
@@ -600,11 +891,21 @@ func (e *Engine) Snapshot() []core.Entry {
 	all := make([]seqEntry, 0, e.Len())
 	for _, sd := range e.shards {
 		sd.mu.Lock()
-		ents, seqs := sd.list.SnapshotWithSeq()
-		sd.mu.Unlock()
+		var (
+			ents []core.Entry
+			seqs []uint64
+		)
+		if sd.down {
+			// Salvaged entries are still queued; they appear in the global
+			// view even while their shard rebuilds.
+			ents, seqs = sd.salvaged, sd.salvagedSeqs
+		} else {
+			ents, seqs = sd.list.SnapshotWithSeq()
+		}
 		for i := range ents {
 			all = append(all, seqEntry{entry: ents[i], seq: seqs[i]})
 		}
+		sd.mu.Unlock()
 	}
 	sort.Slice(all, func(i, j int) bool {
 		if all[i].entry.Rank != all[j].entry.Rank {
@@ -639,43 +940,114 @@ func (e *Engine) Stats() backend.Stats {
 
 // HardwareStats implements backend.HardwareModeled by summing the §5
 // datapath counters across shards — the cost of K physical PIEOs, which
-// is exactly how the paper accounts multi-PIEO scaling.
+// is exactly how the paper accounts multi-PIEO scaling. Counters survive
+// quarantine: each shard carries the totals of its dead incarnations in
+// statsBase (rebuild replay work is subtracted back out so the sum stays
+// the engine's real operation history).
 func (e *Engine) HardwareStats() core.Stats {
 	var total core.Stats
 	for _, sd := range e.shards {
 		sd.mu.Lock()
-		s := sd.list.Stats()
+		addStats(&total, sd.statsBase)
+		if !sd.down {
+			addStats(&total, sd.list.Stats())
+		}
 		sd.mu.Unlock()
-		total.Enqueues += s.Enqueues
-		total.Dequeues += s.Dequeues
-		total.EmptyDequeues += s.EmptyDequeues
-		total.FlowDequeues += s.FlowDequeues
-		total.RangeDequeues += s.RangeDequeues
-		total.Cycles += s.Cycles
-		total.SublistReads += s.SublistReads
-		total.SublistWrites += s.SublistWrites
-		total.PtrCompares += s.PtrCompares
-		total.ElemCompares += s.ElemCompares
 	}
 	return total
 }
 
+// addStats accumulates s into dst field-by-field (core.Stats has no Add of
+// its own — the hardware counters are normally read, not merged).
+func addStats(dst *core.Stats, s core.Stats) {
+	dst.Enqueues += s.Enqueues
+	dst.Dequeues += s.Dequeues
+	dst.EmptyDequeues += s.EmptyDequeues
+	dst.FlowDequeues += s.FlowDequeues
+	dst.RangeDequeues += s.RangeDequeues
+	dst.Cycles += s.Cycles
+	dst.SublistReads += s.SublistReads
+	dst.SublistWrites += s.SublistWrites
+	dst.PtrCompares += s.PtrCompares
+	dst.ElemCompares += s.ElemCompares
+}
+
+// subStats subtracts s from dst; uint64 wraparound on intermediate values
+// is fine because sums re-add the same quantities.
+func subStats(dst *core.Stats, s core.Stats) {
+	dst.Enqueues -= s.Enqueues
+	dst.Dequeues -= s.Dequeues
+	dst.EmptyDequeues -= s.EmptyDequeues
+	dst.FlowDequeues -= s.FlowDequeues
+	dst.RangeDequeues -= s.RangeDequeues
+	dst.Cycles -= s.Cycles
+	dst.SublistReads -= s.SublistReads
+	dst.SublistWrites -= s.SublistWrites
+	dst.PtrCompares -= s.PtrCompares
+	dst.ElemCompares -= s.ElemCompares
+}
+
 // CheckInvariants validates the engine-level structure on top of each
-// shard's own §5 invariants: partitioning by hash, summary coherence, and
-// the global size counter. Tests call it after every mutation; it must be
-// called quiescently.
+// shard's own §5 invariants: ID uniqueness across the engine, residency
+// and off-home accounting, summary coherence, quarantine bookkeeping, and
+// the global size counter. Entries may legitimately live away from their
+// hash-home shard after degraded-mode rehashing; each such entry must be
+// reflected in the offHome counter. Tests call it after mutations; it
+// must be called quiescently.
 func (e *Engine) CheckInvariants() error {
 	total := 0
+	offHome := 0
+	down := 0
+	seen := make(map[uint32]int, e.Len())
 	for i, sd := range e.shards {
 		sd.mu.Lock()
 		err := func() error {
+			checkIDs := func(ents []core.Entry) error {
+				off := 0
+				for _, ent := range ents {
+					if prev, dup := seen[ent.ID]; dup {
+						return fmt.Errorf("id %d present on shards %d and %d", ent.ID, prev, i)
+					}
+					seen[ent.ID] = i
+					if e.homeIdx(ent.ID) != i {
+						off++
+					}
+				}
+				if off != sd.offHomeResident {
+					return fmt.Errorf("shard %d: %d entries live off-home, shard counter says %d", i, off, sd.offHomeResident)
+				}
+				offHome += off
+				return nil
+			}
+			if sd.down {
+				down++
+				if sd.list != nil {
+					return fmt.Errorf("shard %d: down but a list is still installed", i)
+				}
+				if len(sd.salvaged) != len(sd.salvagedSeqs) || len(sd.salvaged) != len(sd.salvageIDs) {
+					return fmt.Errorf("shard %d: salvage bookkeeping inconsistent (%d entries, %d seqs, %d ids)",
+						i, len(sd.salvaged), len(sd.salvagedSeqs), len(sd.salvageIDs))
+				}
+				if sd.minRank.Load() != emptyRank {
+					return fmt.Errorf("shard %d: down but summary minRank %d", i, sd.minRank.Load())
+				}
+				if sd.resident != len(sd.salvaged) {
+					return fmt.Errorf("shard %d: resident count %d, salvage holds %d", i, sd.resident, len(sd.salvaged))
+				}
+				if err := checkIDs(sd.salvaged); err != nil {
+					return err
+				}
+				total += len(sd.salvaged)
+				return nil
+			}
 			if err := sd.list.CheckInvariants(); err != nil {
 				return fmt.Errorf("shard %d: %w", i, err)
 			}
-			for _, ent := range sd.list.Snapshot() {
-				if e.shardOf(ent.ID) != sd {
-					return fmt.Errorf("shard %d: id %d belongs on another shard", i, ent.ID)
-				}
+			if err := checkIDs(sd.list.Snapshot()); err != nil {
+				return err
+			}
+			if sd.resident != sd.list.Len() {
+				return fmt.Errorf("shard %d: resident count %d, list holds %d", i, sd.resident, sd.list.Len())
 			}
 			if r, ok := sd.list.MinRank(); ok {
 				if r == emptyRank {
@@ -704,6 +1076,12 @@ func (e *Engine) CheckInvariants() error {
 	}
 	if total != e.Len() {
 		return fmt.Errorf("shards hold %d elements, size counter says %d", total, e.Len())
+	}
+	if offHome != int(e.offHome.Load()) {
+		return fmt.Errorf("%d entries live off their home shard, offHome counter says %d", offHome, e.offHome.Load())
+	}
+	if down != int(e.downShards.Load()) {
+		return fmt.Errorf("%d shards are down, downShards counter says %d", down, e.downShards.Load())
 	}
 	return nil
 }

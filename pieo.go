@@ -72,10 +72,18 @@ const (
 	Never  = clock.Never
 )
 
-// List errors.
+// Typed errors. Every backend and layer reports failure through these
+// (DESIGN.md §8) instead of panicking; strict-mode scheduler layers
+// re-panic on them for the historical contract.
 var (
 	ErrFull      = core.ErrFull
 	ErrDuplicate = core.ErrDuplicate
+	// ErrShardDown reports an operation the sharded engine refused
+	// because every shard that could serve it is quarantined.
+	ErrShardDown = core.ErrShardDown
+	// ErrUnknownFlow reports an ordered-list extraction whose ID has no
+	// registered flow state.
+	ErrUnknownFlow = core.ErrUnknownFlow
 )
 
 // NewList creates a PIEO ordered list with capacity n using the paper's
@@ -111,7 +119,37 @@ type (
 	// across independently-locked lists, dequeue as a tournament over
 	// per-shard summaries.
 	ShardedList = shard.Engine
+	// AdmissionPolicy selects what a full list does with an arrival in
+	// non-strict mode: reject, tail-drop, or rank-aware push-out
+	// (DESIGN.md §8).
+	AdmissionPolicy = backend.AdmissionPolicy
+	// AdmitOutcome reports what an admission decision did with the
+	// arrival (admitted, dropped, or admitted-by-eviction).
+	AdmitOutcome = backend.AdmitOutcome
+	// Evictor is the push-out capability: backends that can identify and
+	// shed their largest-ranked resident element.
+	Evictor = backend.Evictor
+	// FaultStats counts the non-strict faults and admission decisions a
+	// scheduler layer absorbed instead of panicking.
+	FaultStats = backend.FaultStats
+	// ShardFaultStats counts quarantine/rebuild/loss activity inside the
+	// sharded engine.
+	ShardFaultStats = shard.FaultStats
 )
+
+// Admission policies for full lists (DESIGN.md §8).
+const (
+	AdmitReject   = backend.AdmitReject
+	AdmitTailDrop = backend.AdmitTailDrop
+	AdmitPushOut  = backend.AdmitPushOut
+)
+
+// Admit inserts e into b under the given admission policy: a full list
+// is resolved by the policy (reject / drop arrival / evict the
+// largest-ranked resident), every other error passes through unchanged.
+func Admit(b Backend, pol AdmissionPolicy, e Entry) (AdmitOutcome, error) {
+	return backend.Admit(b, pol, e)
+}
 
 // WrapList adapts a core List to the Backend interface.
 func WrapList(l *List) Backend { return backend.WrapCore(l) }

@@ -27,6 +27,9 @@ import (
 type SyncList struct {
 	mu sync.RWMutex
 	b  backend.Backend
+
+	faults  uint64 // operations that failed with a non-contract error
+	lastErr error  // most recent such error, for diagnosis
 }
 
 // NewSyncList creates a concurrency-safe PIEO list with capacity n over
@@ -112,11 +115,48 @@ func (s *SyncList) MinSendTime() (Time, bool) {
 
 // UpdateRank atomically re-ranks the element with the given id — the
 // dequeue(f)+enqueue(f) pattern under one critical section, so
-// concurrent readers never observe the element missing.
+// concurrent readers never observe the element missing. A re-enqueue
+// failure on the fallback path (possible only with an injected fault —
+// the freed slot cannot be stolen under the lock) restores the element,
+// reports false, and is retained for Faults/LastErr.
 func (s *SyncList) UpdateRank(id uint32, rank uint64, sendTime clock.Time) bool {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return backend.UpdateRank(s.b, id, rank, sendTime)
+	ok, err := backend.UpdateRank(s.b, id, rank, sendTime)
+	if err != nil {
+		s.faults++
+		s.lastErr = err
+	}
+	return ok
+}
+
+// Faults returns how many operations failed with a non-contract error
+// (injected faults, lost restores), and the most recent such error.
+func (s *SyncList) Faults() (uint64, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.faults, s.lastErr
+}
+
+// PeekMax implements backend.Evictor when the wrapped backend does,
+// reporting ok=false otherwise so push-out degrades to tail-drop.
+func (s *SyncList) PeekMax() (Entry, bool) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ev, ok := s.b.(backend.Evictor); ok {
+		return ev.PeekMax()
+	}
+	return Entry{}, false
+}
+
+// EvictMax implements backend.Evictor when the wrapped backend does.
+func (s *SyncList) EvictMax() (Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ev, ok := s.b.(backend.Evictor); ok {
+		return ev.EvictMax()
+	}
+	return Entry{}, false
 }
 
 // Snapshot returns the rank-ordered contents.
