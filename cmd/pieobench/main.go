@@ -7,6 +7,7 @@
 //	pieobench -experiment all         # everything (default)
 //	pieobench -list                   # list experiment ids
 //	pieobench -experiment hotpath -cpuprofile cpu.pprof
+//	pieobench -experiment combining -json   # also write BENCH_combining.json
 //
 // The -cpuprofile and -memprofile flags write pprof profiles covering
 // the experiment run, for `go tool pprof` analysis of the software
@@ -15,11 +16,14 @@
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"os/exec"
 	"runtime"
 	"runtime/pprof"
+	"strings"
 
 	"pieo/internal/experiments"
 )
@@ -27,6 +31,7 @@ import (
 func main() {
 	experiment := flag.String("experiment", "all", "experiment id to run, or 'all'")
 	format := flag.String("format", "table", "output format: table|csv")
+	jsonOut := flag.Bool("json", false, "additionally write BENCH_<experiment>.json per experiment (machine-readable rows plus host metadata)")
 	list := flag.Bool("list", false, "list available experiment ids and exit")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
@@ -72,6 +77,12 @@ func main() {
 			fmt.Fprintf(os.Stderr, "pieobench: unknown format %q\n", *format)
 			exit(1, *cpuprofile)
 		}
+		if *jsonOut {
+			if err := writeBenchJSON(tab); err != nil {
+				fmt.Fprintln(os.Stderr, "pieobench: json:", err)
+				exit(1, *cpuprofile)
+			}
+		}
 	}
 
 	if *memprofile != "" {
@@ -87,6 +98,59 @@ func main() {
 			exit(1, *cpuprofile)
 		}
 	}
+}
+
+// benchJSON is the BENCH_<experiment>.json schema: the experiment's rows
+// keyed by column name (so ns/op, allocs/op, backend, n survive column
+// reordering), plus the host metadata a CI artifact needs to be
+// comparable across runs.
+type benchJSON struct {
+	Experiment string              `json:"experiment"`
+	Title      string              `json:"title"`
+	GOMAXPROCS int                 `json:"gomaxprocs"`
+	GitSHA     string              `json:"git_sha"`
+	Columns    []string            `json:"columns"`
+	Rows       []map[string]string `json:"rows"`
+	Notes      []string            `json:"notes"`
+}
+
+// writeBenchJSON renders tab as BENCH_<id>.json in the working
+// directory — the machine-readable artifact the CI bench-smoke job
+// uploads so perf regressions leave a diffable trail.
+func writeBenchJSON(tab *experiments.Table) error {
+	out := benchJSON{
+		Experiment: tab.ID,
+		Title:      tab.Title,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		GitSHA:     gitSHA(),
+		Columns:    tab.Columns,
+		Notes:      tab.Notes,
+		Rows:       make([]map[string]string, 0, len(tab.Rows)),
+	}
+	for _, row := range tab.Rows {
+		m := make(map[string]string, len(row))
+		for i, cell := range row {
+			if i < len(tab.Columns) {
+				m[tab.Columns[i]] = cell
+			}
+		}
+		out.Rows = append(out.Rows, m)
+	}
+	data, err := json.MarshalIndent(&out, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile("BENCH_"+tab.ID+".json", append(data, '\n'), 0o644)
+}
+
+// gitSHA best-efforts the commit hash for artifact provenance; outside a
+// git checkout (or without git on PATH) it degrades to "unknown".
+func gitSHA() string {
+	out, err := exec.Command("git", "rev-parse", "--short", "HEAD").Output()
+	if err != nil {
+		return "unknown"
+	}
+	return strings.TrimSpace(string(out))
 }
 
 // exit stops an active CPU profile before terminating: os.Exit skips

@@ -24,9 +24,9 @@ import (
 	"pieo/internal/flowq"
 	"pieo/internal/netsim"
 	"pieo/internal/pktgen"
-	"pieo/internal/sched"
 	_ "pieo/internal/refmodel" // register the "ref" backend
-	_ "pieo/internal/shard"    // register the "sharded" backend
+	"pieo/internal/sched"
+	_ "pieo/internal/shard" // register the "sharded" backend
 	"pieo/internal/stats"
 )
 

@@ -31,14 +31,20 @@ const (
 // exactBackends enumerates the backends that promise bit-for-bit §3.1
 // semantics under single-threaded use, so one harness can differentially
 // test all of them against the flat reference model: the paper-exact
-// sublist list, and the sharded engine at K=1 (single shard, pure
+// sublist list, the sharded engine at K=1 (single shard, pure
 // pass-through) and K=8 (hash partitioning + tournament dequeue, which
-// must still be quiescent-exact).
+// must still be quiescent-exact), and K=8 with every operation forced
+// through the flat-combining ring path (publish → self-drain), which
+// must be quiescent-exact too — combined execution is the same code
+// under the same lock.
 func exactBackends(capacity int) map[string]backend.Backend {
+	fc := shard.New(capacity, 8)
+	fc.SetForceRing(true)
 	return map[string]backend.Backend{
-		"core":    backend.NewCoreList(capacity),
-		"shard-1": shard.New(capacity, 1),
-		"shard-8": shard.New(capacity, 8),
+		"core":       backend.NewCoreList(capacity),
+		"shard-1":    shard.New(capacity, 1),
+		"shard-8":    shard.New(capacity, 8),
+		"shard-8-fc": fc,
 	}
 }
 

@@ -244,10 +244,19 @@ func (s *sublist) removeEligAt(idx int) {
 	s.elig = s.tbuf[s.tstart : s.tstart+n-1]
 }
 
-// ptr is one Ordered-Sublist-Array entry (§5.2).
+// ptr is one Ordered-Sublist-Array entry (§5.2). smallestSeq caches the
+// FIFO sequence of the sublist's head element alongside its rank: the
+// enqueue-side sublist selection must compare full (rank, seq) keys, not
+// ranks alone, because EnqueueSeq callers (the sharded engine's combining
+// rings) may insert equal-rank elements out of sequence order — an
+// arriving element can carry a SMALLER seq than a cached head, and a
+// rank-only "not greater means older" tie-break would then pick a sublist
+// to the right of the element's true position, breaking the global
+// (rank, seq) order across sublists.
 type ptr struct {
 	sublistID        int
 	smallestRank     uint64
+	smallestSeq      uint64
 	smallestSendTime clock.Time
 	num              int
 }
@@ -435,19 +444,24 @@ func (l *List) enqueue(elem element) error {
 		return nil
 	}
 
-	// Cycle 1: the hardware compares (order[i].smallestRank > e.Rank)
+	// Cycle 1: the hardware compares (order[i].smallest key > elem key)
 	// over the whole pointer array in parallel and priority-encodes the
 	// first strictly-greater sublist j, selecting j-1 (clamped to the
-	// head); equality on rank means "not greater", which preserves the
-	// FIFO tie-break (a cached smallest key is always older than a new
-	// element). Stats charge all l.active comparators; the software
-	// resolves j by binary search, valid because smallest ranks are
-	// nondecreasing across the active partition.
+	// head). The key is the full (rank, seq) pair: under Enqueue's
+	// internal counter a cached head is always older than a new element,
+	// so rank-only comparison would suffice, but EnqueueSeq callers may
+	// stamp sequences out of arrival order (see ptr.smallestSeq) and
+	// equal-rank placement must then honor the stamped order. Stats charge
+	// all l.active comparators; the software resolves j by binary search,
+	// valid because smallest keys are nondecreasing across the active
+	// partition.
 	l.stats.PtrCompares += uint64(l.active)
 	lo, hi := 0, l.active
 	for lo < hi {
 		mid := int(uint(lo+hi) >> 1)
-		if l.order[mid].smallestRank > e.Rank {
+		p := &l.order[mid]
+		if p.smallestRank > e.Rank ||
+			(p.smallestRank == e.Rank && p.smallestSeq > elem.seq) {
 			hi = mid
 		} else {
 			lo = mid + 1
@@ -600,6 +614,79 @@ func (l *List) PeekSeq(now clock.Time) (Entry, uint64, bool) {
 		}
 	}
 	panic(fmt.Sprintf("pieo: sublist %d metadata/content mismatch at t=%v", l.order[pos].sublistID, now))
+}
+
+// DequeueBelowSeq is the fused peek-or-extract a sharded tournament
+// wants: it locates the smallest-ranked eligible element at now in ONE
+// eligibility scan, extracts it only when its rank is strictly below
+// limit, and otherwise leaves it in place as a peek result. eligible
+// reports whether an eligible element exists (e and seq are valid);
+// taken reports whether it was extracted. A limit of 0 is a pure peek.
+//
+// Stats follow the operations the fusion replaces exactly: an extraction
+// charges the full §5 dequeue datapath, a peek-only outcome (not
+// eligible, or at/above limit) charges nothing — peeks are free, and the
+// engine-level caller accounts its own empty tournaments.
+func (l *List) DequeueBelowSeq(now clock.Time, limit uint64) (e Entry, seq uint64, eligible, taken bool) {
+	pos := l.firstEligible(now, 0)
+	if pos == -1 {
+		return Entry{}, 0, false, false
+	}
+	sl := &l.sublists[l.order[pos].sublistID]
+	idx := -1
+	for i := range sl.entries {
+		if sl.entries[i].SendTime <= now {
+			idx = i
+			break
+		}
+	}
+	if idx == -1 {
+		panic(fmt.Sprintf("pieo: sublist %d metadata/content mismatch at t=%v", l.order[pos].sublistID, now))
+	}
+	cand := sl.entries[idx]
+	if cand.Rank >= limit {
+		return cand.Entry, cand.seq, true, false
+	}
+	l.stats.PtrCompares += uint64(l.active)
+	l.stats.Dequeues++
+	l.stats.Cycles += 4
+	l.stats.SublistReads++
+	l.stats.ElemCompares += uint64(sl.len())
+	l.extractAt(pos, sl, idx)
+	return cand.Entry, cand.seq, true, true
+}
+
+// DequeueRangeBelowSeq is DequeueBelowSeq restricted to IDs in [lo, hi]
+// (the logical-PIEO filter, §4.3). Extraction charges exactly what
+// DequeueRange would, including the extra cycle and read per sublist
+// whose time filter passed but held no in-range eligible element.
+func (l *List) DequeueRangeBelowSeq(now clock.Time, lo, hi uint32, limit uint64) (e Entry, seq uint64, eligible, taken bool) {
+	// Charges for sublists whose time filter passed but which held no
+	// in-range element, deferred until the outcome is known (an
+	// extraction pays them, a peek outcome pays nothing).
+	var missReads, missCompares uint64
+	for pos := l.firstEligible(now, 0); pos != -1; pos = l.firstEligible(now, pos+1) {
+		sl := &l.sublists[l.order[pos].sublistID]
+		for idx := range sl.entries {
+			el := &sl.entries[idx]
+			if el.SendTime <= now && el.ID >= lo && el.ID <= hi {
+				cand := *el
+				if cand.Rank >= limit {
+					return cand.Entry, cand.seq, true, false
+				}
+				l.stats.PtrCompares += uint64(l.active)
+				l.stats.RangeDequeues++
+				l.stats.Cycles += 4 + missReads
+				l.stats.SublistReads += 1 + missReads
+				l.stats.ElemCompares += missCompares + uint64(sl.len())
+				l.extractAt(pos, sl, idx)
+				return cand.Entry, cand.seq, true, true
+			}
+		}
+		missReads++
+		missCompares += uint64(sl.len())
+	}
+	return Entry{}, 0, false, false
 }
 
 // DequeueFlow extracts the element with the given id regardless of
@@ -874,12 +961,14 @@ func (l *List) refreshMeta(pos int) {
 	var t clock.Time
 	if sl.len() == 0 {
 		l.order[pos].smallestRank = 0
+		l.order[pos].smallestSeq = 0
 		l.order[pos].smallestSendTime = clock.Never
 		l.order[pos].num = 0
 		t = clock.Never
 	} else {
 		t = sl.elig[0]
 		l.order[pos].smallestRank = sl.entries[0].Rank
+		l.order[pos].smallestSeq = sl.entries[0].seq
 		l.order[pos].smallestSendTime = t
 		l.order[pos].num = sl.len()
 	}
@@ -954,6 +1043,7 @@ func (l *List) retire(pos int) {
 	l.active--
 	l.order[l.active] = emptied
 	l.order[l.active].smallestRank = 0
+	l.order[l.active].smallestSeq = 0
 	l.order[l.active].smallestSendTime = clock.Never
 	l.order[l.active].num = 0
 	for i := pos; i <= l.active; i++ {
@@ -1055,6 +1145,9 @@ func (l *List) CheckInvariants() error {
 		}
 		if p.smallestRank != sl.entries[0].Rank {
 			return fmt.Errorf("position %d smallestRank=%d, want %d", i, p.smallestRank, sl.entries[0].Rank)
+		}
+		if p.smallestSeq != sl.entries[0].seq {
+			return fmt.Errorf("position %d smallestSeq=%d, want %d", i, p.smallestSeq, sl.entries[0].seq)
 		}
 		if len(sl.elig) != sl.len() {
 			return fmt.Errorf("position %d eligibility size %d, want %d", i, len(sl.elig), sl.len())

@@ -1,0 +1,227 @@
+package experiments
+
+import (
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"pieo/internal/backend"
+	"pieo/internal/clock"
+	"pieo/internal/core"
+	"pieo/internal/shard"
+)
+
+// Combining sweep geometry: the contended regime the flat-combining
+// ingress layer exists for. Capacity 2^19 puts the per-shard lists deep
+// in the √n-scan regime; 8 producer goroutines racing one continuous
+// consumer is the per-connection-producers/one-transmit-scheduler shape
+// from SyncList's doc comment and bench_test.go's benchContended.
+const (
+	combiningCapacity  = 1 << 19
+	combiningShards    = 8
+	combiningProducers = 8
+)
+
+// combiningOps returns the shared producer-side operation count. The
+// default (2^19, the acceptance geometry) keeps the whole three-config
+// sweep around a second on a laptop-class core; PIEO_COMBINING_OPS
+// overrides it for quick smoke runs or longer steady-state measurements.
+func combiningOps() int {
+	if s := os.Getenv("PIEO_COMBINING_OPS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 1 << 19
+}
+
+// combiningReps returns how many times each configuration is stormed;
+// the table reports the fastest run (best-of-N), the standard defense
+// against scheduler noise for wall-clock measurements this short.
+// PIEO_COMBINING_REPS overrides it.
+func combiningReps() int {
+	if s := os.Getenv("PIEO_COMBINING_REPS"); s != "" {
+		if v, err := strconv.Atoi(s); err == nil && v > 0 {
+			return v
+		}
+	}
+	return 3
+}
+
+// lockedList mirrors pieo.SyncList (a single write lock over the
+// paper-exact core list) for the contended baseline. The facade type
+// itself lives in the root package, which imports experiments, so it
+// cannot be used here; the two are operation-for-operation identical on
+// the Enqueue/Dequeue paths this sweep drives.
+type lockedList struct {
+	mu sync.RWMutex
+	b  backend.Backend
+}
+
+func (s *lockedList) Enqueue(e core.Entry) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Enqueue(e)
+}
+
+func (s *lockedList) Dequeue(now clock.Time) (core.Entry, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.b.Dequeue(now)
+}
+
+// combiningTarget is the minimal surface the sweep drives.
+type combiningTarget interface {
+	Enqueue(core.Entry) error
+	Dequeue(clock.Time) (core.Entry, bool)
+}
+
+// combiningMeasure runs the contended producer/consumer storm against a
+// fresh target and returns producer-side ns/op and allocs/op — the same
+// protocol as benchContended: monotone ranks (fair-queueing virtual
+// finish times), ErrFull answered by yielding, one consumer draining
+// continuously for the whole producer run.
+func combiningMeasure(be combiningTarget, ops int) (nsPerOp, allocsPerOp float64) {
+	var ids atomic.Uint32
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	go func() { // consumer
+		defer close(done)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, ok := be.Dequeue(0); !ok {
+				runtime.Gosched()
+			}
+		}
+	}()
+
+	perProducer := ops / combiningProducers
+	var wg sync.WaitGroup
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	for p := 0; p < combiningProducers; p++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < perProducer; i++ {
+				id := ids.Add(1)
+				for {
+					err := be.Enqueue(core.Entry{ID: id, Rank: uint64(id), SendTime: clock.Always})
+					if err == nil {
+						break
+					}
+					if err == core.ErrFull {
+						runtime.Gosched()
+						continue
+					}
+					panic(fmt.Sprintf("experiments: combining enqueue: %v", err))
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	runtime.ReadMemStats(&after)
+	close(stop)
+	<-done
+
+	total := float64(perProducer * combiningProducers)
+	return float64(elapsed.Nanoseconds()) / total, float64(after.Mallocs-before.Mallocs) / total
+}
+
+// Combining measures what the flat-combining ingress rings buy under
+// producer contention: the same storm against the single-lock SyncList
+// shape, the sharded engine with combining disabled (the PR 3 ingress
+// path — every producer takes its home shard's lock), and the sharded
+// engine with combining on (contended producers publish into the ring
+// and the lock winner executes the batch in one critical section). The
+// combined-op share column is CombinedOps/RingOps — the fraction of
+// published records executed by a different goroutine, i.e. the lock
+// handoffs the ring actually amortized away.
+func Combining() *Table {
+	ops := combiningOps()
+	type config struct {
+		name string
+		make func() combiningTarget
+	}
+	var cur *shard.Engine
+	configs := []config{
+		{
+			name: "synclist",
+			make: func() combiningTarget {
+				return &lockedList{b: backend.NewCoreList(combiningCapacity)}
+			},
+		},
+		{
+			name: fmt.Sprintf("sharded-K%d", combiningShards),
+			make: func() combiningTarget {
+				cur = shard.New(combiningCapacity, combiningShards)
+				cur.SetCombining(false)
+				return cur
+			},
+		},
+		{
+			name: fmt.Sprintf("sharded-K%d+fc", combiningShards),
+			make: func() combiningTarget {
+				cur = shard.New(combiningCapacity, combiningShards)
+				return cur
+			},
+		},
+	}
+	t := &Table{
+		ID:      "combining",
+		Title:   "Flat-combining ingress: contended producer cost (8 producers, 1 consumer)",
+		Columns: []string{"backend", "n", "ns/op", "allocs/op", "ring ops", "combined ops", "combined share"},
+	}
+	reps := combiningReps()
+	for _, c := range configs {
+		var ns, allocs float64
+		var ringOps, combined uint64
+		share := "n/a"
+		for r := 0; r < reps; r++ {
+			cur = nil
+			be := c.make()
+			n, a := combiningMeasure(be, ops)
+			if r == 0 || n < ns {
+				ns, allocs = n, a
+			}
+			if cur != nil {
+				cs := cur.CombiningStats()
+				ringOps += cs.RingOps
+				combined += cs.CombinedOps
+				if ringOps > 0 {
+					share = fmt.Sprintf("%.1f%%", 100*float64(combined)/float64(ringOps))
+				} else if cur.CombiningEnabled() {
+					share = "0.0%"
+				}
+			}
+		}
+		t.Rows = append(t.Rows, []string{
+			c.name,
+			fmt.Sprintf("%d", ops),
+			fmt.Sprintf("%.1f", ns),
+			fmt.Sprintf("%.3f", allocs),
+			fmt.Sprintf("%d", ringOps),
+			fmt.Sprintf("%d", combined),
+			share,
+		})
+	}
+	t.Notes = []string{
+		fmt.Sprintf("GOMAXPROCS=%d; contention is scheduler-interleaved when this is 1 — see EXPERIMENTS.md for the host caveat", runtime.GOMAXPROCS(0)),
+		fmt.Sprintf("capacity %d, %d producer goroutines with monotone ranks, one consumer draining continuously", combiningCapacity, combiningProducers),
+		fmt.Sprintf("ns/op is producer-side enqueue cost including ErrFull backpressure retries (benchContended protocol), best of %d runs; ring counters sum all runs", reps),
+		"ring ops = operations published into an ingress ring; combined ops = those executed by another goroutine's drain",
+		"PIEO_COMBINING_OPS overrides the shared op count (default 2^19)",
+	}
+	return t
+}

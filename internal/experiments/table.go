@@ -99,6 +99,7 @@ var registry = map[string]Runner{
 	"hier3":     Hier3,
 	"hotpath":   Hotpath,
 	"overload":  Overload,
+	"combining": Combining,
 }
 
 // IDs returns the registered experiment ids, sorted.

@@ -64,6 +64,18 @@ func auditConservation(t *testing.T, e *shard.Engine, accepted map[uint32]bool, 
 		t.Fatalf("conservation violated: accepted %d, delivered %d + queued %d + declared lost %d = %d",
 			len(accepted), len(delivered), len(queued), lost, got)
 	}
+	// The combining layer must not hide elements from the ledger: at audit
+	// time (quiescent) every ingress ring must be fully drained — an
+	// element parked in a ring would be invisible to Snapshot and silently
+	// break the accounting above. CheckInvariants validates the rings'
+	// turn-sequence state; the counters must also be self-consistent
+	// (every combined execution was a published ring operation).
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("audit-time invariants (ring quiescence): %v", err)
+	}
+	if cs := e.CombiningStats(); cs.CombinedOps > cs.RingOps {
+		t.Fatalf("combining counters inconsistent: %d combined > %d published", cs.CombinedOps, cs.RingOps)
+	}
 }
 
 // drainAll empties the engine, asserting global (rank, FIFO) dequeue
@@ -154,6 +166,19 @@ func TestEngineQuarantineDeterministic(t *testing.T) {
 // every shard, satisfy all structural invariants, and account for every
 // accepted entry.
 func TestEngineChaosConcurrent(t *testing.T) {
+	runEngineChaosConcurrent(t, false)
+}
+
+// TestEngineChaosConcurrentForceRing repeats the storm with every
+// combining-eligible operation forced through the ingress rings, so the
+// full ring protocol — publish, combined execution, quarantine flush,
+// producer-side cancellation against a downed shard — is exercised under
+// -race with panics firing on schedule.
+func TestEngineChaosConcurrentForceRing(t *testing.T) {
+	runEngineChaosConcurrent(t, true)
+}
+
+func runEngineChaosConcurrent(t *testing.T, forceRing bool) {
 	const (
 		producers  = 4
 		consumers  = 2
@@ -163,6 +188,7 @@ func TestEngineChaosConcurrent(t *testing.T) {
 	)
 	inj := faultinject.NewInjector(faultinject.Plan{Seed: 99, PanicEvery: 211, LatencyEvery: 37, LatencyNs: 200})
 	e := shard.New(capacityN, shardCount)
+	e.SetForceRing(forceRing)
 	e.SetFaultHook(inj.ShardHook())
 
 	acceptedCh := make([][]uint32, producers)

@@ -166,11 +166,17 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 // rather than per element.
 func (e *Engine) DequeueUpTo(now clock.Time, k int, out []core.Entry) []core.Entry {
 	e.opTick()
+	if clock.Time(e.nextElig.Load()) > now {
+		// Nothing anywhere is eligible yet: the O(1) empty fast path.
+		e.emptyDequeues.Add(1)
+		return out
+	}
 	for k > 0 {
 		progressed := false
 		for attempt := 0; attempt < dequeueRetries; attempt++ {
 			c, found, taken := e.tournament(now, 0, 0, false, k, &out)
 			if !found {
+				e.raiseNextElig()
 				e.emptyDequeues.Add(1)
 				return out
 			}

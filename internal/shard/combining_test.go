@@ -1,0 +1,308 @@
+package shard
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+
+	"pieo/internal/clock"
+	"pieo/internal/core"
+)
+
+// drainOrder empties the engine at an always-eligible now and returns
+// the extraction order.
+func drainOrder(t *testing.T, e *Engine) []core.Entry {
+	t.Helper()
+	var out []core.Entry
+	for {
+		ent, ok := e.Dequeue(clock.Time(1 << 60))
+		if !ok {
+			break
+		}
+		out = append(out, ent)
+	}
+	if e.Len() != 0 {
+		t.Fatalf("engine reports %d entries after full drain", e.Len())
+	}
+	return out
+}
+
+// checkPerProducerFIFO verifies that, within the stream of extracted
+// same-rank elements, every producer's elements appear in the order that
+// producer enqueued them — the property publish-time sequence stamping
+// must preserve even when ring records execute out of publish order.
+func checkPerProducerFIFO(t *testing.T, streams [][]core.Entry, producers, perProducer int) {
+	t.Helper()
+	lastIdx := make([]int, producers)
+	for i := range lastIdx {
+		lastIdx[i] = -1
+	}
+	for _, stream := range streams {
+		for _, ent := range stream {
+			p := int(ent.ID-1) / perProducer
+			idx := int(ent.ID-1) % perProducer
+			if idx <= lastIdx[p] {
+				t.Fatalf("producer %d: element %d extracted at or before element %d — FIFO violated",
+					p, idx, lastIdx[p])
+			}
+			lastIdx[p] = idx
+		}
+	}
+}
+
+// TestCombinerSameRankFIFOStorm is the satellite regression test: under
+// a concurrent producer storm with the combiner enabled, every element
+// carries the same rank, so the only thing ordering the drain is the
+// global enqueue sequence stamped at ring-publish time. Each producer's
+// elements must come back in that producer's program order (a producer
+// has at most one operation in flight, so publish order IS program
+// order); run with -race this also storms the ring protocol itself.
+// The force-ring variant pushes every operation through the ring even
+// when the lock is free, so the ring path gets coverage regardless of
+// how often TryLock happens to fail on the test host.
+func TestCombinerSameRankFIFOStorm(t *testing.T) {
+	const (
+		producers   = 8
+		perProducer = 2000
+		rank        = uint64(42)
+	)
+	for _, force := range []bool{false, true} {
+		t.Run(fmt.Sprintf("forceRing=%v", force), func(t *testing.T) {
+			e := New(producers*perProducer, 8)
+			e.SetForceRing(force)
+			consumed := make([]core.Entry, 0, producers*perProducer)
+			stop := make(chan struct{})
+			consumerDone := make(chan struct{})
+			go func() { // concurrent consumer: combining must not break FIFO mid-storm
+				defer close(consumerDone)
+				for {
+					select {
+					case <-stop:
+						return
+					default:
+					}
+					if ent, ok := e.Dequeue(clock.Always); ok {
+						consumed = append(consumed, ent)
+					}
+				}
+			}()
+			var prodWG sync.WaitGroup
+			for p := 0; p < producers; p++ {
+				prodWG.Add(1)
+				go func(p int) {
+					defer prodWG.Done()
+					for i := 0; i < perProducer; i++ {
+						id := uint32(p*perProducer + i + 1)
+						ent := core.Entry{ID: id, Rank: rank, SendTime: clock.Always}
+						if err := e.Enqueue(ent); err != nil {
+							t.Errorf("enqueue %d: %v", id, err)
+							return
+						}
+					}
+				}(p)
+			}
+			prodWG.Wait()
+			close(stop)
+			<-consumerDone
+
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("post-storm invariants: %v", err)
+			}
+			rest := drainOrder(t, e)
+			if got := len(consumed) + len(rest); got != producers*perProducer {
+				t.Fatalf("extracted %d elements, want %d", got, producers*perProducer)
+			}
+			checkPerProducerFIFO(t, [][]core.Entry{consumed, rest}, producers, perProducer)
+			if force {
+				if cs := e.CombiningStats(); cs.RingOps == 0 {
+					t.Fatalf("force-ring storm recorded no ring operations: %+v", cs)
+				}
+			}
+			if err := e.CheckInvariants(); err != nil {
+				t.Fatalf("post-drain invariants: %v", err)
+			}
+		})
+	}
+}
+
+// TestForceRingSingleThread holds the ring path to exact quiescent
+// semantics and counter accounting: every combining-eligible operation
+// publishes a record and self-drains it, so RingOps counts them all,
+// CombinedOps stays zero (nobody else ever holds the lock), and the
+// results match the direct path bit-for-bit.
+func TestForceRingSingleThread(t *testing.T) {
+	e := New(1024, 8)
+	e.SetForceRing(true)
+	const n = 100
+	for id := uint32(1); id <= n; id++ {
+		if err := e.Enqueue(core.Entry{ID: id, Rank: uint64(id), SendTime: clock.Always}); err != nil {
+			t.Fatalf("enqueue %d: %v", id, err)
+		}
+	}
+	if err := e.Enqueue(core.Entry{ID: 1, Rank: 9, SendTime: clock.Always}); err != core.ErrDuplicate {
+		t.Fatalf("duplicate enqueue through the ring: err=%v, want ErrDuplicate", err)
+	}
+	for id := uint32(1); id <= 10; id++ {
+		if !e.UpdateRank(id, uint64(1000+id), clock.Always) {
+			t.Fatalf("update rank %d through the ring failed", id)
+		}
+	}
+	if e.UpdateRank(n+50, 1, clock.Always) {
+		t.Fatal("update rank of absent id reported success")
+	}
+	for id := uint32(11); id <= 20; id++ {
+		ent, ok := e.DequeueFlow(id)
+		if !ok || ent.ID != id {
+			t.Fatalf("dequeue flow %d through the ring: ok=%v ent=%+v", id, ok, ent)
+		}
+	}
+	if _, ok := e.DequeueFlow(n + 50); ok {
+		t.Fatal("dequeue flow of absent id reported success")
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+
+	cs := e.CombiningStats()
+	wantRingOps := uint64(n + 1 + 10 + 1 + 10 + 1) // enqueues+dup, updates+miss, dqf hits+miss
+	if cs.RingOps != wantRingOps {
+		t.Fatalf("RingOps = %d, want %d", cs.RingOps, wantRingOps)
+	}
+	if cs.CombinedOps != 0 {
+		t.Fatalf("CombinedOps = %d on a single thread, want 0", cs.CombinedOps)
+	}
+	if cs.CombinerDrains == 0 {
+		t.Fatal("CombinerDrains = 0: the self-drain path never ran")
+	}
+	// The engine Stats mirror the combining counters (satellite: observable
+	// amortization).
+	if s := e.Stats(); s.RingOps != cs.RingOps || s.CombinedOps != cs.CombinedOps {
+		t.Fatalf("Stats ring counters %d/%d disagree with CombiningStats %d/%d",
+			s.RingOps, s.CombinedOps, cs.RingOps, cs.CombinedOps)
+	}
+
+	// The remaining 90 elements drain in updated-rank-aware order.
+	out := drainOrder(t, e)
+	if len(out) != 90 {
+		t.Fatalf("drained %d elements, want 90", len(out))
+	}
+	for i := 1; i < len(out); i++ {
+		if out[i].Rank < out[i-1].Rank {
+			t.Fatalf("drain out of rank order at %d: %d after %d", i, out[i].Rank, out[i-1].Rank)
+		}
+	}
+}
+
+// TestSetCombiningToggle flips the layer off mid-traffic and back on,
+// checking the knob is observable and semantics are unaffected.
+func TestSetCombiningToggle(t *testing.T) {
+	e := New(256, 4)
+	if !e.CombiningEnabled() {
+		t.Fatal("combining should default on")
+	}
+	for id := uint32(1); id <= 50; id++ {
+		if err := e.Enqueue(core.Entry{ID: id, Rank: uint64(id), SendTime: clock.Always}); err != nil {
+			t.Fatalf("enqueue %d: %v", id, err)
+		}
+	}
+	e.SetCombining(false)
+	if e.CombiningEnabled() {
+		t.Fatal("combining still reports enabled after SetCombining(false)")
+	}
+	for id := uint32(51); id <= 100; id++ {
+		if err := e.Enqueue(core.Entry{ID: id, Rank: uint64(id), SendTime: clock.Always}); err != nil {
+			t.Fatalf("enqueue %d with combining off: %v", id, err)
+		}
+	}
+	e.SetCombining(true)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after toggle: %v", err)
+	}
+	if out := drainOrder(t, e); len(out) != 100 {
+		t.Fatalf("drained %d elements, want 100", len(out))
+	}
+}
+
+// TestNextEligibleWakeup is the eligibility-index regression test: a
+// miss raises the bound, an insert of an eligible element must lower it
+// back (the wake-up), and the future element surfaces exactly when its
+// send time arrives.
+func TestNextEligibleWakeup(t *testing.T) {
+	e := New(64, 8)
+	if err := e.Enqueue(core.Entry{ID: 1, Rank: 5, SendTime: 100}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	if _, ok := e.Dequeue(10); ok {
+		t.Fatal("dequeued an ineligible element")
+	}
+	if _, ok := e.Peek(10); ok {
+		t.Fatal("peeked an ineligible element")
+	}
+	// The miss above raised the next-eligible bound to 100. A fresh
+	// eligible insert must tighten it back down or this dequeue would
+	// wrongly take the empty fast path.
+	if err := e.Enqueue(core.Entry{ID: 2, Rank: 7, SendTime: 0}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	ent, ok := e.Dequeue(10)
+	if !ok || ent.ID != 2 {
+		t.Fatalf("dequeue after wake-up: ok=%v ent=%+v, want id 2", ok, ent)
+	}
+	if _, ok := e.Dequeue(10); ok {
+		t.Fatal("dequeued the future element early")
+	}
+	ent, ok = e.Dequeue(100)
+	if !ok || ent.ID != 1 {
+		t.Fatalf("dequeue at send time: ok=%v ent=%+v, want id 1", ok, ent)
+	}
+	if s := e.Stats(); s.EmptyDequeues < 2 {
+		t.Fatalf("EmptyDequeues = %d, want >= 2", s.EmptyDequeues)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestNextEligibleUpdateRankWakeup covers the re-rank path: an update
+// that moves an element's send time earlier must tighten the bound.
+func TestNextEligibleUpdateRankWakeup(t *testing.T) {
+	e := New(64, 8)
+	if err := e.Enqueue(core.Entry{ID: 1, Rank: 5, SendTime: 100}); err != nil {
+		t.Fatalf("enqueue: %v", err)
+	}
+	if _, ok := e.Dequeue(10); ok { // raise the bound to 100
+		t.Fatal("dequeued an ineligible element")
+	}
+	if !e.UpdateRank(1, 5, 0) {
+		t.Fatal("update rank failed")
+	}
+	if ent, ok := e.Dequeue(10); !ok || ent.ID != 1 {
+		t.Fatalf("dequeue after re-rank wake-up: ok=%v ent=%+v", ok, ent)
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants: %v", err)
+	}
+}
+
+// TestRingWrapQuiescent pushes more than ringSlots operations through
+// the forced ring path so every slot wraps at least once, then checks
+// the ring's turn-sequence invariant directly.
+func TestRingWrapQuiescent(t *testing.T) {
+	e := New(4*ringSlots, 1)
+	e.SetForceRing(true)
+	for id := uint32(1); id <= uint32(3*ringSlots); id++ {
+		if err := e.Enqueue(core.Entry{ID: id, Rank: uint64(id), SendTime: clock.Always}); err != nil {
+			t.Fatalf("enqueue %d: %v", id, err)
+		}
+		if _, ok := e.DequeueFlow(id); !ok {
+			t.Fatalf("dequeue flow %d", id)
+		}
+	}
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("invariants after %d wraps: %v", 3*ringSlots*2/ringSlots, err)
+	}
+	sd := e.shards[0]
+	if head, tail := sd.ring.head, sd.ring.tail.Load(); head != tail {
+		t.Fatalf("quiescent ring not drained: head %d tail %d", head, tail)
+	}
+}

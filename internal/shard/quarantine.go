@@ -143,12 +143,14 @@ func (e *Engine) recordEvent(ev FaultEvent) {
 // carries traffic; it is read without synchronization afterwards.
 func (e *Engine) SetFaultHook(h func(shard int, op string)) { e.hook = h }
 
-// opTick advances the engine's operation clock and, only while degraded,
-// gives due rebuilds a chance to run. The healthy hot path pays one
-// atomic increment and one load.
+// opTick advances the engine's operation clock and gives due rebuilds a
+// chance to run. The clock only ticks while a shard is down — backoff
+// windows are measured in degraded-mode operations either way, and
+// skipping the increment leaves the healthy hot path a single atomic
+// load.
 func (e *Engine) opTick() {
-	e.ops.Add(1)
 	if e.downShards.Load() != 0 {
+		e.ops.Add(1)
 		e.maybeRebuild()
 	}
 }
@@ -247,6 +249,15 @@ func (e *Engine) quarantineLocked(i int, sd *shard, op string, cause any) {
 	sd.rebuildAt.Store(e.ops.Load() + rebuildBackoffOps)
 	sd.minRank.Store(emptyRank)
 	sd.minSend.Store(uint64(clock.Never))
+
+	// Complete every operation still published in the ingress ring with a
+	// retry verdict: their producers have not been answered, so nothing
+	// about them is in the conservation ledger yet — they simply re-route
+	// through the degraded slow path, exactly like an operation that saw
+	// the quarantine itself. (downFlag is already up, so a producer racing
+	// this flush cancels its own record instead of waiting; the per-record
+	// CAS arbitrates.)
+	flushRingLocked(sd.ring)
 
 	if lost > 0 {
 		e.size.Add(int64(-lost))
@@ -349,6 +360,10 @@ func (e *Engine) tryRebuild(i int, sd *shard, force bool) bool {
 	}
 	if t, ok := fresh.MinSendTime(); ok {
 		sd.minSend.Store(uint64(t))
+		// The salvage was invisible to the next-eligible index while the
+		// shard was down (raiseNextElig skips down shards); now that its
+		// elements are dequeueable again the bound must cover them.
+		e.tightenNextElig(t)
 	} else {
 		sd.minSend.Store(uint64(clock.Never))
 	}

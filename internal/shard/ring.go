@@ -1,0 +1,122 @@
+// The per-shard MPSC operation ring backing the flat-combining ingress
+// layer (combiner.go). Producers that lose the shard lock publish their
+// operation as a fixed-size record; whichever thread next holds the lock
+// executes every published record inside its own critical section, so one
+// lock acquisition pays for many operations.
+//
+// The ring is a turn-sequenced circular buffer (the classic bounded MPMC
+// slot discipline, specialized to many producers and one lock-holding
+// consumer). Ticket t lives in slot t % ringSlots and walks through four
+// states, encoded in the slot's turn word:
+//
+//	4t   — free: the slot is claimable by the producer drawing ticket t.
+//	4t+1 — published: request fields are filled; release-ordered store.
+//	4t+2 — taken: a combiner won the CAS from 4t+1 and is executing it,
+//	       OR the producer won the same CAS to cancel (shard went down
+//	       before any combiner claimed the record). The CAS makes the
+//	       two outcomes mutually exclusive.
+//	4t+3 — done: result fields are filled; the producer reads them and
+//	       frees the slot by storing 4(t+ringSlots), which is state
+//	       "free" for ticket t+ringSlots — the next wrap.
+//
+// Only the shard-lock holder advances head, so head needs no atomics; it
+// is a plain word guarded by the shard mutex. tail is claimed by CAS.
+// Field writes are ordered by the turn word's atomic store/load pairs
+// (Go atomics are sequentially consistent, which supplies the
+// release/acquire edges the protocol needs; DESIGN.md §9 spells the
+// argument out).
+package shard
+
+import (
+	"sync/atomic"
+
+	"pieo/internal/core"
+)
+
+// ringSlots is the per-shard ring capacity. 64 records absorbs a deep
+// burst of blocked producers (far more than plausible producer
+// parallelism) while keeping the ring one 8 KiB page per shard; a full
+// ring simply falls back to lock acquisition, so the size is a
+// throughput knob, not a correctness bound.
+const (
+	ringSlots = 64
+	ringMask  = ringSlots - 1
+)
+
+// Ring operation codes.
+const (
+	opEnq uint32 = iota + 1 // EnqueueSeq(ent, seq)
+	opDqf                   // DequeueFlow(ent.ID)
+	opUpd                   // UpdateRankSeq(ent.ID, ent.Rank, ent.SendTime, seq)
+)
+
+// Ring result codes.
+const (
+	resOK    uint32 = iota + 1 // operation succeeded (out holds DequeueFlow's entry)
+	resDup                     // enqueue hit ErrDuplicate
+	resMiss                    // point op found no element (or lost it to a quarantine)
+	resRetry                   // shard quarantined before execution: re-route via the slow path
+)
+
+// ringRecord is one published operation. It is padded to two cache lines
+// so neighboring producers spinning on adjacent records never share a
+// line with each other's result writes.
+type ringRecord struct {
+	turn atomic.Uint64
+	op   uint32
+	res  uint32
+	ent  core.Entry // request: entry / (id, rank, send) / id
+	seq  uint64     // global FIFO sequence, stamped at publish time
+	out  core.Entry // result of a DequeueFlow record
+	_    [56]byte
+}
+
+// opRing is one shard's ingress ring. tail and head sit on their own
+// cache lines: every publishing producer CASes tail, while head is
+// written only under the shard lock.
+type opRing struct {
+	tail  atomic.Uint64
+	_     [56]byte
+	head  uint64 // first possibly-unconsumed ticket; guarded by shard.mu
+	_     [56]byte
+	slots [ringSlots]ringRecord
+}
+
+func newOpRing() *opRing {
+	r := &opRing{}
+	for i := range r.slots {
+		r.slots[i].turn.Store(uint64(4 * i))
+	}
+	return r
+}
+
+// claim draws the next ticket and returns its record, or ok=false when
+// the ring is full (the slot for the next ticket has not been freed yet).
+// The winner owns the record's request fields until it publishes.
+func (r *opRing) claim() (t uint64, rec *ringRecord, ok bool) {
+	for {
+		t = r.tail.Load()
+		rec = &r.slots[t&ringMask]
+		if rec.turn.Load() != 4*t {
+			return 0, nil, false
+		}
+		if r.tail.CompareAndSwap(t, t+1) {
+			return t, rec, true
+		}
+	}
+}
+
+// publish fills the request fields and flips the record to published.
+// Must be called exactly once by the claim winner.
+func (rec *ringRecord) publish(t uint64, op uint32, ent core.Entry, seq uint64) {
+	rec.op = op
+	rec.ent = ent
+	rec.seq = seq
+	rec.turn.Store(4*t + 1)
+}
+
+// free releases the slot for the next wrap after the producer has read
+// the result (or after a successful cancellation).
+func (rec *ringRecord) free(t uint64) {
+	rec.turn.Store(4 * (t + ringSlots))
+}

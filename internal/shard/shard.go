@@ -62,8 +62,8 @@ import (
 // DefaultShards is the shard count the backend registry uses.
 const DefaultShards = 8
 
-// maxShards bounds K so the tournament can collect shard summaries in a
-// fixed stack buffer (no per-dequeue allocation). Shard counts anywhere
+// maxShards bounds K so the tournament can track visited shards in a
+// single 64-bit mask (no per-dequeue allocation). Shard counts anywhere
 // near it are counterproductive anyway: the tournament scans all K
 // summaries, so K should stay within a small multiple of the CPU count.
 const maxShards = 64
@@ -91,6 +91,12 @@ const emptyRank = ^uint64(0)
 type shard struct {
 	mu   sync.Mutex
 	list *core.List
+
+	// eng points back at the owning engine (for the next-eligible index;
+	// see Engine.nextElig); ring is this shard's flat-combining ingress
+	// ring (ring.go, combiner.go).
+	eng  *Engine
+	ring *opRing
 
 	// Summaries published under mu after every mutation, read without the
 	// lock by the tournament's pruning pass. A reader may observe a
@@ -147,6 +153,10 @@ func (s *shard) noteMutation(send clock.Time) {
 	if uint64(send) < s.minSend.Load() {
 		s.minSend.Store(uint64(send))
 	}
+	// The engine-wide index tightens AFTER the shard summary: raiseNextElig
+	// recomputes from the summaries, so by the time its version guard can
+	// miss this insert, the summary it scans already reflects it.
+	s.eng.tightenNextElig(send)
 }
 
 // noteRemoval refreshes the summary after removing an element, in O(1);
@@ -214,6 +224,28 @@ type Engine struct {
 	fstats     faultCounters
 	eventMu    sync.Mutex
 	events     []FaultEvent
+
+	// Flat-combining ingress state (ring.go, combiner.go): combineOn gates
+	// ring publishes (the TryLock direct path needs no gate — it is the
+	// plain locked path), forceRing pins tests to the ring path, and the
+	// counters feed CombiningStats.
+	combineOn    atomic.Bool
+	forceRing    atomic.Bool
+	cRingOps     atomic.Uint64
+	cCombinedOps atomic.Uint64
+	cDrains      atomic.Uint64
+
+	// nextElig is the engine-wide next-eligible index: a lower bound on
+	// the smallest send_time across every element queued in a healthy
+	// shard, so a dequeue short-circuits in O(1) — one atomic load — when
+	// even the most optimistic element is still in the future, instead of
+	// running a K-way tournament to count an empty miss. Inserts tighten
+	// it via tightenNextElig (inside noteMutation, after the shard's own
+	// summary); an unranged tournament that comes up empty raises it via
+	// raiseNextElig. eligVer counts inserts and guards the raise against
+	// racing inserts; see DESIGN.md §9 for the ordering argument.
+	nextElig atomic.Uint64
+	eligVer  atomic.Uint64
 }
 
 // New creates a sharded engine with total capacity n spread over k
@@ -252,11 +284,15 @@ func New(n, k int) *Engine {
 	for i := range e.shards {
 		e.shards[i] = &shard{
 			list:    core.NewWithOccupancyHint(n, s, hint),
+			eng:     e,
+			ring:    newOpRing(),
 			minRank: &e.minRanks[i],
 		}
 		e.shards[i].minRank.Store(emptyRank)
 		e.shards[i].minSend.Store(uint64(clock.Never))
 	}
+	e.nextElig.Store(uint64(clock.Never))
+	e.combineOn.Store(true)
 	return e
 }
 
@@ -280,6 +316,58 @@ func (e *Engine) homeIdx(id uint32) int {
 // One or two atomic loads — the healthy hot path's only resilience tax.
 func (e *Engine) degraded() bool {
 	return e.downShards.Load() != 0 || e.offHome.Load() != 0
+}
+
+// tightenNextElig lowers the next-eligible bound to send. It runs at
+// every point an element actually lands in (or re-ranks within) a shard
+// list — never at ring-publish time, because a published-but-undrained
+// record is invisible to the summaries a concurrent raise recomputes
+// from, and a bound tightened for it could be raised right back over it.
+// (A record's producer has not returned yet, so missing it is a legal
+// linearization; the drain tightens before the record is marked done.)
+// The version bump lands between the summary store and the CAS so a
+// racing raiseNextElig either sees the bump and aborts or sees the
+// already-updated summary; the CAS retry loop additionally repairs any
+// raise that slips in mid-flight.
+func (e *Engine) tightenNextElig(send clock.Time) {
+	e.eligVer.Add(1)
+	for {
+		cur := e.nextElig.Load()
+		if uint64(send) >= cur {
+			return
+		}
+		if e.nextElig.CompareAndSwap(cur, uint64(send)) {
+			return
+		}
+	}
+}
+
+// raiseNextElig recomputes the next-eligible bound from the healthy
+// shards' minSend summaries after an unranged tournament found nothing
+// eligible. Quarantined shards are skipped — their salvaged elements are
+// not dequeueable until rebuild, which re-tightens the bound when it
+// installs the fresh list. The raise is abandoned if any insert ran
+// concurrently (version guard) and applied with a single CAS, so it can
+// never erase a tighten it did not observe.
+func (e *Engine) raiseNextElig() {
+	v := e.eligVer.Load()
+	cur := e.nextElig.Load()
+	m := uint64(clock.Never)
+	for _, sd := range e.shards {
+		if sd.downFlag.Load() {
+			continue
+		}
+		if s := sd.minSend.Load(); s < m {
+			m = s
+		}
+	}
+	if m <= cur {
+		return
+	}
+	if e.eligVer.Load() != v {
+		return
+	}
+	e.nextElig.CompareAndSwap(cur, m)
 }
 
 // Enqueue implements backend.Backend. Producers mapped to different
@@ -308,8 +396,28 @@ func (e *Engine) Enqueue(ent core.Entry) error {
 		return core.ErrDuplicate
 	}
 	// Draw the FIFO sequence outside the shard lock; a failed enqueue
-	// burns it harmlessly (ties compare relative order, not density).
+	// burns it harmlessly (ties compare relative order, not density). The
+	// sequence is stamped into the ring record at publish time, so global
+	// FIFO among equal ranks survives the combiner executing records in an
+	// order different from the one producers drew their sequences in.
 	seq := e.seq.Add(1)
+	if e.combineOn.Load() && !e.degraded() {
+		sd := e.shards[home]
+		if !sd.downFlag.Load() {
+			if res, _, handled := e.combine(home, sd, opEnq, ent, seq); handled {
+				switch res {
+				case resOK:
+					return nil
+				case resDup:
+					e.size.Add(-1)
+					return core.ErrDuplicate
+				}
+				// resRetry: the home shard quarantined mid-flight (the
+				// reservation is still held); fall through to the
+				// degraded-mode probe loop.
+			}
+		}
+	}
 	k := len(e.shards)
 	for probe := 0; probe < k; probe++ {
 		i := (home + probe) % k
@@ -425,57 +533,41 @@ type candidate struct {
 // c.entry, so single-element callers pass sink=nil and stay
 // allocation-free. budget == 0 is a pure peek.
 func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget int, sink *[]core.Entry) (c candidate, found bool, taken int) {
-	type summary struct {
-		r   uint64
-		sd  *shard
-		idx int
-	}
-	// Collect from the packed minRank array only; the minSend bound is
-	// read lazily when a shard wins a selection round, so a dequeue loads
-	// K contiguous words here plus one or two minSend words below instead
-	// of 2K words scattered across K shard structs. The collect pass also
-	// tracks the smallest and second-smallest bounds, so the common case
-	// (first peek wins outright) never rescans the live array. Quarantined
-	// shards publish emptyRank, so they are pruned here for free.
-	var live [maxShards]summary
-	n := 0
-	mi := -1          // index in live of the smallest remaining bound
-	next := emptyRank // second-smallest remaining bound
-	for i := range e.minRanks {
-		r := e.minRanks[i].Load()
-		if r == emptyRank {
-			continue
-		}
-		live[n] = summary{r: r, sd: e.shards[i], idx: i}
-		if mi < 0 || r < live[mi].r {
-			if mi >= 0 && live[mi].r < next {
-				next = live[mi].r
+	// Selection, not sort: each round rescans the packed minRank array for
+	// the smallest unvisited bound (tracking the runner-up as the drain
+	// limit), and the tournament almost always ends after one probe (the
+	// next bound can't beat it), so a full ordering — or even a collected
+	// copy of the summaries — would be wasted work. visited is a bitmask
+	// over shard indices (maxShards caps K at 64): pruned-empty, probed,
+	// and quarantined shards all get their bit set and drop out of later
+	// rounds. The minSend bound is read lazily when a shard wins a round,
+	// so a dequeue loads K contiguous words per round plus one or two
+	// minSend words instead of 2K words scattered across K shard structs.
+	var (
+		visited uint64
+		best    candidate
+	)
+	k := len(e.shards)
+	for {
+		mi := -1          // shard index of the smallest remaining bound
+		var mr uint64     // its bound
+		next := emptyRank // second-smallest remaining bound: the drain limit
+		for i := 0; i < k; i++ {
+			if visited&(1<<uint(i)) != 0 {
+				continue
 			}
-			mi = n
-		} else if r < next {
-			next = r
-		}
-		n++
-	}
-	// Selection, not sort: each round visits the smallest remaining
-	// bound, and the tournament almost always ends after one peek (the
-	// next bound can't beat it), so a full ordering would be wasted work.
-	var best candidate
-	for first := true; ; first = false {
-		if !first {
-			mi, next = -1, emptyRank
-			for i := 0; i < n; i++ {
-				if live[i].sd == nil {
-					continue
+			r := e.minRanks[i].Load()
+			if r == emptyRank {
+				visited |= 1 << uint(i)
+				continue
+			}
+			if mi < 0 || r < mr {
+				if mi >= 0 && mr < next {
+					next = mr
 				}
-				if mi < 0 || live[i].r < live[mi].r {
-					if mi >= 0 && live[mi].r < next {
-						next = live[mi].r
-					}
-					mi = i
-				} else if live[i].r < next {
-					next = live[i].r
-				}
+				mi, mr = i, r
+			} else if r < next {
+				next = r
 			}
 		}
 		if mi < 0 {
@@ -483,12 +575,11 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget i
 		}
 		// Ascending bounds: the first bound the best already beats ends
 		// the tournament.
-		if found && live[mi].r > best.entry.Rank {
+		if found && mr > best.entry.Rank {
 			break
 		}
-		sd := live[mi].sd
-		sidx := live[mi].idx
-		live[mi].sd = nil
+		visited |= 1 << uint(mi)
+		sd := e.shards[mi]
 		// The lazily-read eligibility bound: a shard whose most optimistic
 		// send time is still in the future cannot hold an eligible element
 		// (minSend is a lower bound), so it is dropped without locking.
@@ -496,9 +587,9 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget i
 			continue
 		}
 		var (
-			ent core.Entry
-			sq  uint64
-			ok  bool
+			ent  core.Entry
+			sq   uint64
+			elig bool
 		)
 		sd.mu.Lock()
 		if sd.down {
@@ -506,76 +597,75 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget i
 			sd.mu.Unlock()
 			continue
 		}
+		if sd.ring.head != sd.ring.tail.Load() {
+			// The consumer already paid for this lock: drain pending
+			// producer records into the same critical section (flat
+			// combining's consumer half).
+			e.drainRingLocked(mi, sd, noTicket)
+			if sd.down {
+				sd.mu.Unlock()
+				continue
+			}
+		}
 		op := OpPeek
 		if budget > 0 {
 			op = OpDequeue
 		}
-		perr := e.protect(sidx, sd, op, func(l *core.List) {
-			if ranged {
-				ent, sq, ok = l.PeekRangeSeq(now, lo, hi)
-			} else {
-				ent, sq, ok = l.PeekSeq(now)
+		perr := e.protect(mi, sd, op, func(l *core.List) {
+			// The drain limit: extraction is fused into the probe when the
+			// head is unbeatable — rank strictly below every remaining
+			// shard's bound, so no FIFO tie can arise — and the probe
+			// degrades to a pure peek (limit 0: no rank is below 0) when a
+			// prior shard already produced a candidate.
+			limit := uint64(0)
+			if budget > 0 && !found {
+				limit = next
 			}
-			if !ok {
+			var took bool
+			if ranged {
+				ent, sq, elig, took = l.DequeueRangeBelowSeq(now, lo, hi, limit)
+			} else {
+				ent, sq, elig, took = l.DequeueBelowSeq(now, limit)
+			}
+			if !elig {
 				// The summary's lower bound let an ineligible shard
 				// through; tighten it so the next tournament prunes it.
 				sd.refreshMinSend()
 				return
 			}
-			if budget > 0 && !found && ent.Rank < next {
-				// Unbeatable: previously visited shards had nothing
-				// eligible, and every remaining shard's minimum rank
-				// already loses.
-				for {
-					var got core.Entry
-					var gok bool
-					if ranged {
-						got, gok = l.DequeueRange(now, lo, hi)
-					} else {
-						got, gok = l.Dequeue(now)
-					}
-					if !gok {
-						if taken == 0 {
-							// The peek above succeeded under this same lock
-							// hold; losing the element means the list
-							// structure is corrupt, and the protect wrapper
-							// turns this into a shard quarantine.
-							panic("shard: filtered dequeue lost an element the peek saw")
-						}
-						break
-					}
-					taken++
-					sd.resident--
-					if taken == 1 {
-						c = candidate{sd: sd, idx: sidx, entry: got, seq: sq}
-					}
-					if sink != nil {
-						*sink = append(*sink, got)
-					}
-					if e.homeIdx(got.ID) != sidx {
-						sd.offHomeResident--
-						e.offHome.Add(-1)
-					}
-					if taken == budget {
-						break
-					}
-					// Keep draining only while the shard's next eligible
-					// head would win a rerun tournament outright.
-					var (
-						nent core.Entry
-						nok  bool
-					)
-					if ranged {
-						nent, _, nok = l.PeekRangeSeq(now, lo, hi)
-					} else {
-						nent, _, nok = l.PeekSeq(now)
-					}
-					if !nok || nent.Rank >= next {
-						break
-					}
-				}
-				sd.noteRemoval()
+			if !took {
+				return
 			}
+			taken = 1
+			c = candidate{sd: sd, idx: mi, entry: ent, seq: sq}
+			e.noteExtracted(mi, sd, ent)
+			if sink != nil {
+				*sink = append(*sink, ent)
+			}
+			// Keep draining only while the shard's next eligible head
+			// would win a rerun tournament outright (strictly below every
+			// remaining bound — an equal bound could FIFO-tie, which only
+			// a fresh tournament can adjudicate).
+			for taken != budget {
+				var (
+					nent core.Entry
+					ntk  bool
+				)
+				if ranged {
+					nent, _, _, ntk = l.DequeueRangeBelowSeq(now, lo, hi, next)
+				} else {
+					nent, _, _, ntk = l.DequeueBelowSeq(now, next)
+				}
+				if !ntk {
+					break
+				}
+				taken++
+				e.noteExtracted(mi, sd, nent)
+				if sink != nil {
+					*sink = append(*sink, nent)
+				}
+			}
+			sd.noteRemoval()
 		})
 		sd.mu.Unlock()
 		if taken > 0 {
@@ -584,16 +674,26 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget i
 			e.size.Add(int64(-taken))
 			return c, true, taken
 		}
-		if perr != nil || !ok {
+		if perr != nil || !elig {
 			continue
 		}
 		if !found || ent.Rank < best.entry.Rank ||
 			(ent.Rank == best.entry.Rank && sq < best.seq) {
-			best = candidate{sd: sd, idx: sidx, entry: ent, seq: sq}
+			best = candidate{sd: sd, idx: mi, entry: ent, seq: sq}
 			found = true
 		}
 	}
 	return best, found, 0
+}
+
+// noteExtracted updates residency and off-home bookkeeping for an
+// element extracted from shard i. Callers hold the shard lock.
+func (e *Engine) noteExtracted(i int, sd *shard, ent core.Entry) {
+	sd.resident--
+	if e.homeIdx(ent.ID) != i {
+		sd.offHomeResident--
+		e.offHome.Add(-1)
+	}
 }
 
 // extract removes the winning shard's current smallest-ranked eligible
@@ -648,9 +748,21 @@ func (e *Engine) extract(idx int, sd *shard, now clock.Time, lo, hi uint32, rang
 // package comment for the concurrent contract).
 func (e *Engine) Dequeue(now clock.Time) (core.Entry, bool) {
 	e.opTick()
+	if clock.Time(e.nextElig.Load()) > now {
+		// Even the most optimistic queued element is in the future: the
+		// O(1) empty fast path (no tournament, no locks).
+		e.emptyDequeues.Add(1)
+		return core.Entry{}, false
+	}
 	for attempt := 0; attempt < dequeueRetries; attempt++ {
 		c, found, taken := e.tournament(now, 0, 0, false, 1, nil)
 		if !found {
+			// An exhaustive miss: no healthy shard holds an eligible
+			// element, so the next-eligible bound can rise to what the
+			// summaries now say. (A retry-exhausted miss below cannot
+			// raise — eligible elements exist, consumers keep racing us
+			// to them.)
+			e.raiseNextElig()
 			e.emptyDequeues.Add(1)
 			return core.Entry{}, false
 		}
@@ -669,9 +781,20 @@ func (e *Engine) Dequeue(now clock.Time) (core.Entry, bool) {
 // (§4.3) run as a tournament of per-shard PeekRange results.
 func (e *Engine) DequeueRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
 	e.opTick()
+	if clock.Time(e.nextElig.Load()) > now {
+		// No element anywhere is eligible, in range or out of it.
+		e.emptyDequeues.Add(1)
+		return core.Entry{}, false
+	}
 	for attempt := 0; attempt < dequeueRetries; attempt++ {
 		c, found, taken := e.tournament(now, lo, hi, true, 1, nil)
 		if !found {
+			// A ranged miss says nothing about elements outside [lo, hi],
+			// but raiseNextElig recomputes from the send-time summaries
+			// alone, so it is sound here too: if an eligible element
+			// exists on any healthy shard, that shard's minSend bound
+			// keeps the raise at or below now.
+			e.raiseNextElig()
 			e.emptyDequeues.Add(1)
 			return core.Entry{}, false
 		}
@@ -696,6 +819,26 @@ func (e *Engine) DequeueRange(now clock.Time, lo, hi uint32) (core.Entry, bool) 
 func (e *Engine) DequeueFlow(id uint32) (core.Entry, bool) {
 	e.opTick()
 	home := e.homeIdx(id)
+	if e.combineOn.Load() && !e.degraded() {
+		// Healthy engine: the element can only live on its home shard (an
+		// off-home resident would have made degraded() true before this
+		// call began, and one placed concurrently linearizes after a
+		// miss), so the point lookup routes through the combining layer.
+		sd := e.shards[home]
+		if !sd.downFlag.Load() {
+			if res, out, handled := e.combine(home, sd, opDqf, core.Entry{ID: id}, 0); handled {
+				switch res {
+				case resOK:
+					e.size.Add(-1)
+					return out, true
+				case resMiss:
+					return core.Entry{}, false
+				}
+				// resRetry: the home shard quarantined mid-flight; re-probe
+				// through the degraded slow path below.
+			}
+		}
+	}
 	wide := e.degraded()
 	k := len(e.shards)
 	for probe := 0; probe < k; probe++ {
@@ -743,12 +886,18 @@ func (e *Engine) DequeueFlow(id uint32) (core.Entry, bool) {
 
 // Peek implements backend.Peeker via the tournament, without extraction.
 func (e *Engine) Peek(now clock.Time) (core.Entry, bool) {
+	if clock.Time(e.nextElig.Load()) > now {
+		return core.Entry{}, false
+	}
 	c, found, _ := e.tournament(now, 0, 0, false, 0, nil)
 	return c.entry, found
 }
 
 // PeekRange implements backend.Peeker.
 func (e *Engine) PeekRange(now clock.Time, lo, hi uint32) (core.Entry, bool) {
+	if clock.Time(e.nextElig.Load()) > now {
+		return core.Entry{}, false
+	}
 	c, found, _ := e.tournament(now, lo, hi, true, 0, nil)
 	return c.entry, found
 }
@@ -763,6 +912,24 @@ func (e *Engine) UpdateRank(id uint32, rank uint64, sendTime clock.Time) bool {
 	e.opTick()
 	seq := e.seq.Add(1)
 	home := e.homeIdx(id)
+	if e.combineOn.Load() && !e.degraded() {
+		// Same healthy-engine home-only argument as DequeueFlow.
+		sd := e.shards[home]
+		if !sd.downFlag.Load() {
+			ent := core.Entry{ID: id, Rank: rank, SendTime: sendTime}
+			if res, _, handled := e.combine(home, sd, opUpd, ent, seq); handled {
+				switch res {
+				case resOK:
+					e.updateRanks.Add(1)
+					return true
+				case resMiss:
+					return false
+				}
+				// resRetry: quarantined before execution; the probe loop
+				// below adjudicates against the salvage.
+			}
+		}
+	}
 	wide := e.degraded()
 	k := len(e.shards)
 	for probe := 0; probe < k; probe++ {
@@ -935,6 +1102,8 @@ func (e *Engine) Stats() backend.Stats {
 		EmptyDequeues: e.emptyDequeues.Load(),
 		FlowDequeues:  hw.FlowDequeues - ur,
 		RangeDequeues: hw.RangeDequeues,
+		RingOps:       e.cRingOps.Load(),
+		CombinedOps:   e.cCombinedOps.Load(),
 	}
 }
 
@@ -998,10 +1167,14 @@ func (e *Engine) CheckInvariants() error {
 	total := 0
 	offHome := 0
 	down := 0
+	healthyMinSend := clock.Never
 	seen := make(map[uint32]int, e.Len())
 	for i, sd := range e.shards {
 		sd.mu.Lock()
 		err := func() error {
+			if err := checkRingLocked(sd.ring, i); err != nil {
+				return err
+			}
 			checkIDs := func(ents []core.Entry) error {
 				off := 0
 				for _, ent := range ents {
@@ -1063,6 +1236,9 @@ func (e *Engine) CheckInvariants() error {
 				if bound := clock.Time(sd.minSend.Load()); bound > t {
 					return fmt.Errorf("shard %d: minSend bound %v above true min %v", i, bound, t)
 				}
+				if t < healthyMinSend {
+					healthyMinSend = t
+				}
 			} else if clock.Time(sd.minSend.Load()) != clock.Never {
 				return fmt.Errorf("shard %d: empty but minSend bound %v", i, clock.Time(sd.minSend.Load()))
 			}
@@ -1082,6 +1258,13 @@ func (e *Engine) CheckInvariants() error {
 	}
 	if down != int(e.downShards.Load()) {
 		return fmt.Errorf("%d shards are down, downShards counter says %d", down, e.downShards.Load())
+	}
+	// The next-eligible index must stay a lower bound on the send times
+	// actually dequeueable — elements in healthy shards. (Salvaged entries
+	// may legitimately sit below a raised bound: they are unreachable
+	// until rebuild, which re-tightens.)
+	if ne := clock.Time(e.nextElig.Load()); ne > healthyMinSend {
+		return fmt.Errorf("next-eligible bound %v above true healthy min send %v", ne, healthyMinSend)
 	}
 	return nil
 }

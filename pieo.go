@@ -115,6 +115,14 @@ type (
 	// Batcher is the batch-operation capability: EnqueueBatch/DequeueUpTo
 	// with exact sequential semantics but amortized per-op overhead.
 	Batcher = backend.Batcher
+	// Combining is the flat-combining ingress capability: contended
+	// mutations publish into per-partition rings and the lock holder
+	// executes them in one critical section. The sharded engine
+	// implements it; SetCombining toggles the layer for comparisons.
+	Combining = backend.Combining
+	// CombiningStats snapshots a combining backend's ring activity
+	// (ring publishes, operations executed by another thread's drain).
+	CombiningStats = backend.CombiningStats
 	// ShardedList is the concurrent PIEO engine: flows hash-partitioned
 	// across independently-locked lists, dequeue as a tournament over
 	// per-shard summaries.
@@ -179,6 +187,10 @@ func EnqueueBatch(b Backend, es []Entry) (int, error) { return backend.EnqueueBa
 func DequeueUpTo(b Backend, now Time, k int, out []Entry) []Entry {
 	return backend.DequeueUpTo(b, now, k, out)
 }
+
+// SetCombining toggles the flat-combining ingress layer on backends that
+// have one (the sharded engine), reporting whether b supports the knob.
+func SetCombining(b Backend, on bool) bool { return backend.SetCombining(b, on) }
 
 // Scheduler framework types (§3.2).
 type (
