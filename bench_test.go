@@ -114,7 +114,7 @@ func coreBenchSizes() []int { return []int{1 << 10, 30000, 1 << 19} }
 // coreBenchBackends enumerates the exact backends worth measuring
 // uncontended. The flat reference model is excluded: its O(n) scans at
 // 2^19 would take minutes per benchmark.
-func coreBenchBackends() []string { return []string{"core", "sharded"} }
+func coreBenchBackends() []string { return []string{"core", "sharded", "cffs", "sharded+cffs"} }
 
 // warmBackend builds a half-full backend of capacity n with uniformly
 // random ranks, all eligible.

@@ -8,6 +8,11 @@
 //	pieobench -list                   # list experiment ids
 //	pieobench -experiment hotpath -cpuprofile cpu.pprof
 //	pieobench -experiment combining -json   # also write BENCH_combining.json
+//	pieobench -experiment hotpath -backend core,cffs,sharded+cffs
+//
+// The -backend flag selects, by backend-registry name, which backends
+// the datapath-measuring experiments sweep — any registered backend
+// works, with no per-backend switch in the harness.
 //
 // The -cpuprofile and -memprofile flags write pprof profiles covering
 // the experiment run, for `go tool pprof` analysis of the software
@@ -33,6 +38,7 @@ func main() {
 	format := flag.String("format", "table", "output format: table|csv")
 	jsonOut := flag.Bool("json", false, "additionally write BENCH_<experiment>.json per experiment (machine-readable rows plus host metadata)")
 	list := flag.Bool("list", false, "list available experiment ids and exit")
+	backends := flag.String("backend", "", "comma-separated registry backend names the measuring experiments sweep (default: "+strings.Join(experiments.Backends(), ",")+"); any registered name works")
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -42,6 +48,13 @@ func main() {
 			fmt.Println(id)
 		}
 		return
+	}
+
+	if *backends != "" {
+		if err := experiments.SetBackends(strings.Split(*backends, ",")); err != nil {
+			fmt.Fprintln(os.Stderr, "pieobench:", err)
+			os.Exit(1)
+		}
 	}
 
 	if *cpuprofile != "" {

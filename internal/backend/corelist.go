@@ -1,6 +1,10 @@
 package backend
 
-import "pieo/internal/core"
+import (
+	"math"
+
+	"pieo/internal/core"
+)
 
 // CoreList adapts the paper-exact sublist implementation (core.List) to
 // the Backend interface. Every operation is promoted from the embedded
@@ -56,6 +60,24 @@ var _ Evictor = (*CoreList)(nil)
 // optional batch capability.
 var _ Batcher = (*CoreList)(nil)
 
+// NewCoreShard is the ShardFactory for the paper-exact sublist list:
+// capacity is the full shared bound, while the sublist geometry and the
+// flow-map/arena pre-sizing follow the expected per-shard occupancy
+// (⌈√(n/K)⌉ sublists — sharding shortens the scans as well as splitting
+// the lock; see shard.New).
+func NewCoreShard(cfg ShardConfig) ShardBackend {
+	occ := cfg.ExpectedOccupancy
+	if occ <= 0 || occ > cfg.Capacity {
+		occ = cfg.Capacity
+	}
+	s := int(math.Ceil(math.Sqrt(float64(occ))))
+	if s < 1 {
+		s = 1
+	}
+	return core.NewWithOccupancyHint(cfg.Capacity, s, occ)
+}
+
 func init() {
 	Register("core", func(n int) Backend { return NewCoreList(n) })
+	RegisterShard("core", NewCoreShard)
 }

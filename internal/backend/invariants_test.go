@@ -74,7 +74,10 @@ func stormBackend(t *testing.T, b backend.Backend, seed uint64, ops int) map[uin
 // check on the empty structure.
 func TestCheckInvariantsAllBackends(t *testing.T) {
 	names := backend.Names()
-	want := map[string]bool{"approx": false, "core": false, "pifo": false, "ref": false, "sharded": false}
+	want := map[string]bool{
+		"approx": false, "cffs": false, "core": false, "pifo": false,
+		"ref": false, "sharded": false, "sharded+cffs": false,
+	}
 	for _, name := range names {
 		if _, known := want[name]; known {
 			want[name] = true

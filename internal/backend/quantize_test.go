@@ -1,0 +1,99 @@
+package backend_test
+
+import (
+	"math"
+	"testing"
+
+	"pieo/internal/backend"
+	"pieo/internal/clock"
+	"pieo/internal/core"
+)
+
+// FuzzRankQuantizer checks the quantization adapter's contract over
+// random ranks and bucket widths: the mapping never panics, is monotone
+// in rank, collapses only ranks less than one width apart (so any
+// dequeue-order inversion a bucketed backend introduces is bounded by
+// the width), and RankOf returns a floor consistent with Bucket.
+func FuzzRankQuantizer(f *testing.F) {
+	f.Add(uint64(0), uint64(0), uint64(0))
+	f.Add(uint64(1), uint64(2), uint64(1))
+	f.Add(uint64(1<<20), uint64(1<<20)+37, uint64(256))
+	f.Add(uint64(math.MaxUint64), uint64(math.MaxUint64)-1, uint64(3))
+	f.Add(uint64(500), uint64(499), uint64(math.MaxUint64))
+
+	f.Fuzz(func(t *testing.T, r1, r2 uint64, width uint64) {
+		q := backend.RankQuantizer{Width: width}
+		b1, b2 := q.Bucket(r1), q.Bucket(r2)
+		if r1 <= r2 && b1 > b2 {
+			t.Fatalf("width %d: Bucket not monotone: Bucket(%d)=%d > Bucket(%d)=%d", width, r1, b1, r2, b2)
+		}
+		if b1 == b2 {
+			diff := r1 - r2
+			if r2 > r1 {
+				diff = r2 - r1
+			}
+			w := width
+			if w == 0 {
+				w = 1
+			}
+			if diff >= w {
+				t.Fatalf("width %d: ranks %d and %d share bucket %d but differ by %d", width, r1, r2, b1, diff)
+			}
+		}
+		// The bucket floor must map back into the same bucket and never
+		// exceed the rank it quantized.
+		if fl := q.RankOf(b1); fl != math.MaxUint64 && (q.Bucket(fl) != b1 || fl > r1) {
+			t.Fatalf("width %d: RankOf(%d)=%d inconsistent with rank %d", width, b1, fl, r1)
+		}
+		// Float mapping agrees with the integer mapping on exactly
+		// representable ranks and tolerates non-finite input.
+		if r1 < 1<<53 {
+			if fb := q.BucketFloat(float64(r1)); fb != b1 {
+				t.Fatalf("width %d: BucketFloat(%d)=%d, Bucket=%d", width, r1, fb, b1)
+			}
+		}
+		_ = q.BucketFloat(math.NaN())
+		_ = q.BucketFloat(math.Inf(1))
+		_ = q.BucketFloat(-1)
+	})
+}
+
+// TestCFFSQuantizedInversionBound drives a quantized cFFS list with
+// adversarial ranks and verifies the documented approximation bound:
+// draining at a permissive time yields an order whose inversions are all
+// within one bucket — any two swapped elements differ by less than the
+// bucket width in rank.
+func TestCFFSQuantizedInversionBound(t *testing.T) {
+	for _, width := range []uint64{1, 16, 256, 4096} {
+		rng := invLCG(42)
+		const n = 512
+		b := backend.NewCFFSListQuantized(n, backend.RankQuantizer{Width: width})
+		for i := 0; i < n; i++ {
+			ent := core.Entry{ID: uint32(i + 1), Rank: rng.next() % (1 << 16), SendTime: clock.Always}
+			if err := b.Enqueue(ent); err != nil {
+				t.Fatalf("width %d: enqueue %d: %v", width, i, err)
+			}
+		}
+		if err := b.CheckInvariants(); err != nil {
+			t.Fatalf("width %d: %v", width, err)
+		}
+		prev := uint64(0)
+		for i := 0; i < n; i++ {
+			e, ok := b.Dequeue(clock.Always)
+			if !ok {
+				t.Fatalf("width %d: drain stalled at %d", width, i)
+			}
+			if e.Rank+width <= prev {
+				// An inversion wider than one bucket: quantization cannot
+				// explain it, so it is a structural bug.
+				t.Fatalf("width %d: dequeued rank %d after rank %d", width, e.Rank, prev)
+			}
+			if e.Rank > prev {
+				prev = e.Rank
+			}
+		}
+		if b.Len() != 0 {
+			t.Fatalf("width %d: %d left after drain", width, b.Len())
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package experiments
+
+import (
+	"fmt"
+	"strings"
+
+	"pieo/internal/backend"
+)
+
+// measuredBackends is the backend set the datapath-measuring experiments
+// (hotpath) sweep. The default covers the exact single-threaded list and
+// the concurrent engine; SetBackends widens or narrows it — pieobench's
+// -backend flag is the usual caller.
+var measuredBackends = []string{"core", "sharded"}
+
+// Backends returns the backend names the measuring experiments sweep.
+// The returned slice is a copy; mutating it does not affect the sweep.
+func Backends() []string {
+	out := make([]string, len(measuredBackends))
+	copy(out, measuredBackends)
+	return out
+}
+
+// SetBackends replaces the measured backend set. Every name must be
+// registered with the backend registry; unknown names are rejected as a
+// whole so a typo cannot silently shrink the sweep.
+func SetBackends(names []string) error {
+	if len(names) == 0 {
+		return fmt.Errorf("experiments: empty backend set")
+	}
+	registered := make(map[string]bool)
+	for _, n := range backend.Names() {
+		registered[n] = true
+	}
+	for _, n := range names {
+		if !registered[n] {
+			return fmt.Errorf("experiments: unknown backend %q (have %s)",
+				n, strings.Join(backend.Names(), ", "))
+		}
+	}
+	measuredBackends = make([]string, len(names))
+	copy(measuredBackends, names)
+	return nil
+}

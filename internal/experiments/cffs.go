@@ -1,0 +1,54 @@
+package experiments
+
+import (
+	"fmt"
+)
+
+// cffsPairs maps each cFFS configuration to the exact baseline it is
+// measured against: the standalone bucket queue against the paper-exact
+// core list (the ≥3x uncontended target), and the cFFS-backed sharded
+// engine against the core-backed one (the backend-generic refactor's
+// "inheritance" claim — the engine speeds up without any engine change).
+var cffsPairs = []struct{ baseline, candidate string }{
+	{"core", "cffs"},
+	{"sharded", "sharded+cffs"},
+}
+
+// CFFS measures what the Eiffel-style cFFS bucket backend buys on the
+// uncontended mixed datapath, at the same operating points and under the
+// same protocol as the hotpath experiment (half-occupancy steady state,
+// alternating enqueue/dequeue, uniformly random ranks in [0, 2^20)).
+// Ranks are integers, so width-1 cFFS is exact here: the speedup column
+// is a like-for-like comparison, not an accuracy trade. This is the
+// experiment behind the EXPERIMENTS.md "cffs" section and the
+// BENCH_cffs.json CI artifact.
+func CFFS() *Table {
+	var rows [][]string
+	for _, pair := range cffsPairs {
+		for _, n := range hotpathSizes {
+			baseNs, _ := hotpathMeasure(pair.baseline, n, 1)
+			candNs, candAllocs := hotpathMeasure(pair.candidate, n, 1)
+			rows = append(rows, []string{
+				pair.candidate,
+				pair.baseline,
+				sizeLabel(n),
+				fmt.Sprintf("%.1f", candNs),
+				fmt.Sprintf("%.1f", baseNs),
+				fmt.Sprintf("%.2fx", baseNs/candNs),
+				fmt.Sprintf("%.3f", candAllocs),
+			})
+		}
+	}
+	return &Table{
+		ID:      "cffs",
+		Title:   "cFFS bucket backend: uncontended mixed cost vs the exact core list",
+		Columns: []string{"backend", "baseline", "size", "ns/op", "baseline ns/op", "speedup", "allocs/op"},
+		Rows:    rows,
+		Notes: []string{
+			"hotpath protocol: half-occupancy steady state, alternating enqueue/dequeue, ranks uniform in [0, 2^20), all eligible",
+			"integer ranks at width 1 make cFFS exact — the differential suite holds it bit-for-bit to core",
+			"sharded+cffs vs sharded isolates the backend swap inside the unchanged concurrent engine",
+			"single-process wall-clock measurement; go test -bench CoreMixed gives the calibrated numbers",
+		},
+	}
+}

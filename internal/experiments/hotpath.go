@@ -91,7 +91,7 @@ func hotpathMeasure(name string, n, batch int) (nsPerOp, allocsPerOp float64) {
 // counters are identical either way — see DESIGN.md §7).
 func Hotpath() *Table {
 	var rows [][]string
-	for _, name := range []string{"core", "sharded"} {
+	for _, name := range Backends() {
 		for _, n := range hotpathSizes {
 			ns, allocs := hotpathMeasure(name, n, 1)
 			bns, ballocs := hotpathMeasure(name, n, hotpathBatch)

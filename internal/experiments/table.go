@@ -100,6 +100,8 @@ var registry = map[string]Runner{
 	"hotpath":   Hotpath,
 	"overload":  Overload,
 	"combining": Combining,
+	"cffs":      CFFS,
+	"qdev":      QuantDeviation,
 }
 
 // IDs returns the registered experiment ids, sorted.

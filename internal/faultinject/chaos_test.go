@@ -166,7 +166,7 @@ func TestEngineQuarantineDeterministic(t *testing.T) {
 // every shard, satisfy all structural invariants, and account for every
 // accepted entry.
 func TestEngineChaosConcurrent(t *testing.T) {
-	runEngineChaosConcurrent(t, false)
+	runEngineChaosConcurrent(t, false, "core")
 }
 
 // TestEngineChaosConcurrentForceRing repeats the storm with every
@@ -175,10 +175,18 @@ func TestEngineChaosConcurrent(t *testing.T) {
 // producer-side cancellation against a downed shard — is exercised under
 // -race with panics firing on schedule.
 func TestEngineChaosConcurrentForceRing(t *testing.T) {
-	runEngineChaosConcurrent(t, true)
+	runEngineChaosConcurrent(t, true, "core")
 }
 
-func runEngineChaosConcurrent(t *testing.T, forceRing bool) {
+// TestEngineChaosConcurrentCFFS repeats the storm with cFFS bucketed
+// shards, proving that quarantine, salvage via SnapshotWithSeq/EnqueueSeq
+// replay, and the rings are all backend-generic: the bitmap-hierarchy
+// backend must survive the same schedule of induced panics as core.
+func TestEngineChaosConcurrentCFFS(t *testing.T) {
+	runEngineChaosConcurrent(t, false, "cffs")
+}
+
+func runEngineChaosConcurrent(t *testing.T, forceRing bool, backendName string) {
 	const (
 		producers  = 4
 		consumers  = 2
@@ -187,7 +195,10 @@ func runEngineChaosConcurrent(t *testing.T, forceRing bool) {
 		shardCount = 8
 	)
 	inj := faultinject.NewInjector(faultinject.Plan{Seed: 99, PanicEvery: 211, LatencyEvery: 37, LatencyNs: 200})
-	e := shard.New(capacityN, shardCount)
+	e, err := shard.NewNamed(capacityN, shardCount, backendName)
+	if err != nil {
+		t.Fatalf("construct %q engine: %v", backendName, err)
+	}
 	e.SetForceRing(forceRing)
 	e.SetFaultHook(inj.ShardHook())
 

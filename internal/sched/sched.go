@@ -185,6 +185,18 @@ func New(prog *Program, capacity int, linkRateGbps float64) *Scheduler {
 	return NewOn(prog, backend.NewCoreList(capacity), linkRateGbps)
 }
 
+// NewNamed creates a scheduler over the named registered backend — the
+// same registry pieosim's -backend flag consults, so "cffs" or
+// "sharded+cffs" drop in without the caller touching internal/backend
+// constructors.
+func NewNamed(prog *Program, name string, capacity int, linkRateGbps float64) (*Scheduler, error) {
+	b, err := backend.New(name, capacity)
+	if err != nil {
+		return nil, err
+	}
+	return NewOn(prog, b, linkRateGbps), nil
+}
+
 // NewOn creates a scheduler over an explicit ordered-list backend. The
 // programming framework is backend-agnostic: any backend.Backend can
 // carry the §3.2 functions, though approximate backends weaken the

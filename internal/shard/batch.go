@@ -93,7 +93,7 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 				locked = true
 			}
 			var lerr error
-			perr := e.protect(si, sd, OpEnqueue, func(l *core.List) {
+			perr := e.protect(si, sd, OpEnqueue, func(l backend.ShardBackend) {
 				sd.resident++
 				lerr = l.EnqueueSeq(es[i], base+1+uint64(i))
 				if lerr != nil {

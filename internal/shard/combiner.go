@@ -182,7 +182,7 @@ func (e *Engine) execOpLocked(i int, sd *shard, op uint32, ent core.Entry, seq u
 			started bool
 			lerr    error
 		)
-		perr := e.protect(i, sd, OpEnqueue, func(l *core.List) {
+		perr := e.protect(i, sd, OpEnqueue, func(l backend.ShardBackend) {
 			started = true
 			sd.resident++
 			lerr = l.EnqueueSeq(ent, seq)
@@ -222,7 +222,7 @@ func (e *Engine) execOpLocked(i int, sd *shard, op uint32, ent core.Entry, seq u
 			got core.Entry
 			ok  bool
 		)
-		e.protect(i, sd, OpDequeueFlow, func(l *core.List) {
+		e.protect(i, sd, OpDequeueFlow, func(l backend.ShardBackend) {
 			got, ok = l.DequeueFlow(ent.ID)
 			if !ok {
 				return
@@ -240,7 +240,7 @@ func (e *Engine) execOpLocked(i int, sd *shard, op uint32, ent core.Entry, seq u
 		return resOK, got
 	case opUpd:
 		var ok bool
-		perr := e.protect(i, sd, OpUpdateRank, func(l *core.List) {
+		perr := e.protect(i, sd, OpUpdateRank, func(l backend.ShardBackend) {
 			ok = l.UpdateRankSeq(ent.ID, ent.Rank, ent.SendTime, seq)
 			if ok {
 				sd.noteMutation(ent.SendTime)

@@ -66,62 +66,67 @@ func TestCombinerSameRankFIFOStorm(t *testing.T) {
 		perProducer = 2000
 		rank        = uint64(42)
 	)
-	for _, force := range []bool{false, true} {
-		t.Run(fmt.Sprintf("forceRing=%v", force), func(t *testing.T) {
-			e := New(producers*perProducer, 8)
-			e.SetForceRing(force)
-			consumed := make([]core.Entry, 0, producers*perProducer)
-			stop := make(chan struct{})
-			consumerDone := make(chan struct{})
-			go func() { // concurrent consumer: combining must not break FIFO mid-storm
-				defer close(consumerDone)
-				for {
-					select {
-					case <-stop:
-						return
-					default:
-					}
-					if ent, ok := e.Dequeue(clock.Always); ok {
-						consumed = append(consumed, ent)
-					}
+	for _, backendName := range []string{"core", "cffs"} {
+		for _, force := range []bool{false, true} {
+			t.Run(fmt.Sprintf("backend=%s/forceRing=%v", backendName, force), func(t *testing.T) {
+				e, err := NewNamed(producers*perProducer, 8, backendName)
+				if err != nil {
+					t.Fatalf("construct %q engine: %v", backendName, err)
 				}
-			}()
-			var prodWG sync.WaitGroup
-			for p := 0; p < producers; p++ {
-				prodWG.Add(1)
-				go func(p int) {
-					defer prodWG.Done()
-					for i := 0; i < perProducer; i++ {
-						id := uint32(p*perProducer + i + 1)
-						ent := core.Entry{ID: id, Rank: rank, SendTime: clock.Always}
-						if err := e.Enqueue(ent); err != nil {
-							t.Errorf("enqueue %d: %v", id, err)
+				e.SetForceRing(force)
+				consumed := make([]core.Entry, 0, producers*perProducer)
+				stop := make(chan struct{})
+				consumerDone := make(chan struct{})
+				go func() { // concurrent consumer: combining must not break FIFO mid-storm
+					defer close(consumerDone)
+					for {
+						select {
+						case <-stop:
 							return
+						default:
+						}
+						if ent, ok := e.Dequeue(clock.Always); ok {
+							consumed = append(consumed, ent)
 						}
 					}
-				}(p)
-			}
-			prodWG.Wait()
-			close(stop)
-			<-consumerDone
-
-			if err := e.CheckInvariants(); err != nil {
-				t.Fatalf("post-storm invariants: %v", err)
-			}
-			rest := drainOrder(t, e)
-			if got := len(consumed) + len(rest); got != producers*perProducer {
-				t.Fatalf("extracted %d elements, want %d", got, producers*perProducer)
-			}
-			checkPerProducerFIFO(t, [][]core.Entry{consumed, rest}, producers, perProducer)
-			if force {
-				if cs := e.CombiningStats(); cs.RingOps == 0 {
-					t.Fatalf("force-ring storm recorded no ring operations: %+v", cs)
+				}()
+				var prodWG sync.WaitGroup
+				for p := 0; p < producers; p++ {
+					prodWG.Add(1)
+					go func(p int) {
+						defer prodWG.Done()
+						for i := 0; i < perProducer; i++ {
+							id := uint32(p*perProducer + i + 1)
+							ent := core.Entry{ID: id, Rank: rank, SendTime: clock.Always}
+							if err := e.Enqueue(ent); err != nil {
+								t.Errorf("enqueue %d: %v", id, err)
+								return
+							}
+						}
+					}(p)
 				}
-			}
-			if err := e.CheckInvariants(); err != nil {
-				t.Fatalf("post-drain invariants: %v", err)
-			}
-		})
+				prodWG.Wait()
+				close(stop)
+				<-consumerDone
+
+				if err := e.CheckInvariants(); err != nil {
+					t.Fatalf("post-storm invariants: %v", err)
+				}
+				rest := drainOrder(t, e)
+				if got := len(consumed) + len(rest); got != producers*perProducer {
+					t.Fatalf("extracted %d elements, want %d", got, producers*perProducer)
+				}
+				checkPerProducerFIFO(t, [][]core.Entry{consumed, rest}, producers, perProducer)
+				if force {
+					if cs := e.CombiningStats(); cs.RingOps == 0 {
+						t.Fatalf("force-ring storm recorded no ring operations: %+v", cs)
+					}
+				}
+				if err := e.CheckInvariants(); err != nil {
+					t.Fatalf("post-drain invariants: %v", err)
+				}
+			})
+		}
 	}
 }
 

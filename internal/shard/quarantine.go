@@ -36,6 +36,7 @@ import (
 	"fmt"
 	"sync/atomic"
 
+	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/core"
 )
@@ -186,7 +187,7 @@ func (e *Engine) Recover() int {
 // unwinding through the caller. The caller must hold sd.mu and must have
 // checked sd.down; fn must confine its effects to this shard plus
 // engine-level counters it maintains exactly (see the residency fields).
-func (e *Engine) protect(i int, sd *shard, op string, fn func(l *core.List)) (err error) {
+func (e *Engine) protect(i int, sd *shard, op string, fn func(l backend.ShardBackend)) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			e.quarantineLocked(i, sd, op, r)
@@ -277,7 +278,7 @@ func (e *Engine) quarantineLocked(i int, sd *shard, op string, cause any) {
 // salvageSnapshot reads the broken list's contents, tolerating a snapshot
 // that itself panics (the corruption may extend into the walk): whatever
 // cannot be read is simply not salvaged.
-func salvageSnapshot(l *core.List) (ents []core.Entry, seqs []uint64) {
+func salvageSnapshot(l backend.ShardBackend) (ents []core.Entry, seqs []uint64) {
 	defer func() {
 		if recover() != nil {
 			ents, seqs = nil, nil
@@ -287,7 +288,7 @@ func salvageSnapshot(l *core.List) (ents []core.Entry, seqs []uint64) {
 }
 
 // salvageStats reads the broken list's datapath counters, best-effort.
-func salvageStats(l *core.List) (s core.Stats) {
+func salvageStats(l backend.ShardBackend) (s core.Stats) {
 	defer func() { _ = recover() }()
 	return l.Stats()
 }
@@ -333,7 +334,7 @@ func (e *Engine) tryRebuild(i int, sd *shard, force bool) bool {
 			Err:   fmt.Sprintf("salvage abandoned after %d attempts: %v", sd.attempts, rerr),
 			Lost:  lost,
 		})
-		fresh = core.NewWithOccupancyHint(e.capacity, e.sublistSize, e.occHint)
+		fresh = e.newList()
 		sd.resident = 0
 		sd.offHomeResident = 0
 	} else {
@@ -375,7 +376,7 @@ func (e *Engine) tryRebuild(i int, sd *shard, force bool) bool {
 // the original FIFO sequence numbers, under the same fault-injection hook
 // as live traffic (a rebuild can be faulted too) and a recover guard so a
 // replay panic is a failed attempt, not a crash. Called with sd.mu held.
-func (e *Engine) replaySalvage(i int, sd *shard) (l *core.List, err error) {
+func (e *Engine) replaySalvage(i int, sd *shard) (l backend.ShardBackend, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			l, err = nil, fmt.Errorf("rebuild panic: %v", r)
@@ -384,7 +385,7 @@ func (e *Engine) replaySalvage(i int, sd *shard) (l *core.List, err error) {
 	if e.hook != nil {
 		e.hook(i, OpRebuild)
 	}
-	fresh := core.NewWithOccupancyHint(e.capacity, e.sublistSize, e.occHint)
+	fresh := e.newList()
 	for idx := range sd.salvaged {
 		if rerr := fresh.EnqueueSeq(sd.salvaged[idx], sd.salvagedSeqs[idx]); rerr != nil {
 			return nil, fmt.Errorf("replay of id %d: %w", sd.salvaged[idx].ID, rerr)

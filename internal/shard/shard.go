@@ -49,7 +49,6 @@ package shard
 
 import (
 	"fmt"
-	"math"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -83,14 +82,15 @@ const dequeueRetries = 4
 // worst a wasted peek, never a wrong skip.
 const emptyRank = ^uint64(0)
 
-// shard is one partition: a private PIEO list, its lock, and the
-// lock-free summary the tournament reads. Cross-shard FIFO sequencing
-// lives inside the list elements themselves (core.EnqueueSeq), so the
-// shard keeps no per-element state of its own — profiling showed a
-// sideband id→seq map costing more than the sublist datapath it annotated.
+// shard is one partition: a private seq-aware ordered list behind the
+// backend.ShardBackend contract, its lock, and the lock-free summary the
+// tournament reads. Cross-shard FIFO sequencing lives inside the list
+// elements themselves (ShardBackend.EnqueueSeq), so the shard keeps no
+// per-element state of its own — profiling showed a sideband id→seq map
+// costing more than the sublist datapath it annotated.
 type shard struct {
 	mu   sync.Mutex
-	list *core.List
+	list backend.ShardBackend
 
 	// eng points back at the owning engine (for the next-eligible index;
 	// see Engine.nextElig); ring is this shard's flat-combining ingress
@@ -198,9 +198,14 @@ type Engine struct {
 	// the whole array per dequeue, so read density wins.
 	minRanks []atomic.Uint64
 
-	capacity    int
-	sublistSize int // per-shard list geometry, for quarantine rebuilds
-	occHint     int
+	capacity int
+
+	// newList constructs one shard's list — the bound ShardFactory the
+	// engine was built on. Construction calls it K times; a quarantine
+	// rebuild calls it again for the fresh incarnation, so a rebuilt
+	// shard always comes back on the same backend with the same geometry.
+	newList     func() backend.ShardBackend
+	backendName string
 
 	size atomic.Int64  // global occupancy, enforces the shared capacity
 	seq  atomic.Uint64 // global enqueue sequence for FIFO tie-breaks
@@ -249,11 +254,38 @@ type Engine struct {
 }
 
 // New creates a sharded engine with total capacity n spread over k
-// shards (k <= 0 selects DefaultShards; k above maxShards is clamped).
-// Each shard's list is provisioned with the full capacity n — hash
-// partitioning gives no worst-case balance guarantee — but with sublists
-// sized to the expected per-shard occupancy ⌈√(n/k)⌉.
+// shards (k <= 0 selects DefaultShards; k above maxShards is clamped)
+// on the paper-exact core backend — the historical default, bit-for-bit.
 func New(n, k int) *Engine {
+	e, err := NewNamed(n, k, "core")
+	if err != nil {
+		panic(fmt.Sprintf("shard: %v", err))
+	}
+	return e
+}
+
+// NewNamed is New over the shard backend registered under backendName
+// (backend.RegisterShard) — the backend selector engine construction
+// threads up through the facade and the tools.
+func NewNamed(n, k int, backendName string) (*Engine, error) {
+	factory, err := backend.ShardFactoryFor(backendName)
+	if err != nil {
+		return nil, err
+	}
+	e := NewOn(n, k, factory)
+	e.backendName = backendName
+	return e, nil
+}
+
+// NewOn creates a sharded engine whose shards are built by factory. Each
+// shard is provisioned with the full capacity n — hash partitioning
+// gives no worst-case balance guarantee — while the expected per-shard
+// occupancy ⌈n/k⌉ lets the backend size its hot structures (flow-map
+// tables, sublist geometry, arenas) for steady state: a table sized for
+// the full shared capacity stays ~1/K occupied, and its cold probes
+// measurably dominated the enqueue/dequeue profile. Hash imbalance past
+// the hint just grows that shard's structures once.
+func NewOn(n, k int, factory backend.ShardFactory) *Engine {
 	if n <= 0 {
 		panic(fmt.Sprintf("shard: capacity must be positive, got %d", n))
 	}
@@ -263,27 +295,17 @@ func New(n, k int) *Engine {
 	if k > maxShards {
 		k = maxShards
 	}
-	perShard := (n + k - 1) / k
-	s := int(math.Ceil(math.Sqrt(float64(perShard))))
-	if s < 1 {
-		s = 1
-	}
-	// Flow-map tables sized for the expected per-shard occupancy: the
-	// same table load factor a single list runs at when full, where a
-	// table sized for the full shared capacity stays ~1/K occupied and
-	// its cold probes measurably dominated the enqueue/dequeue profile.
-	// Hash imbalance past the hint just grows that shard's map once.
-	hint := perShard
+	cfg := backend.ShardConfig{Capacity: n, ExpectedOccupancy: (n + k - 1) / k}
 	e := &Engine{
 		shards:      make([]*shard, k),
 		minRanks:    make([]atomic.Uint64, k),
 		capacity:    n,
-		sublistSize: s,
-		occHint:     hint,
+		newList:     func() backend.ShardBackend { return factory(cfg) },
+		backendName: "custom",
 	}
 	for i := range e.shards {
 		e.shards[i] = &shard{
-			list:    core.NewWithOccupancyHint(n, s, hint),
+			list:    e.newList(),
 			eng:     e,
 			ring:    newOpRing(),
 			minRank: &e.minRanks[i],
@@ -298,6 +320,10 @@ func New(n, k int) *Engine {
 
 // NumShards returns K.
 func (e *Engine) NumShards() int { return len(e.shards) }
+
+// BackendName reports which registered shard backend the engine runs on
+// ("custom" for an unregistered factory passed to NewOn).
+func (e *Engine) BackendName() string { return e.backendName }
 
 // Capacity returns the shared capacity.
 func (e *Engine) Capacity() int { return e.capacity }
@@ -443,7 +469,7 @@ func (e *Engine) Enqueue(ent core.Entry) error {
 			started bool
 			lerr    error
 		)
-		perr := e.protect(i, sd, OpEnqueue, func(l *core.List) {
+		perr := e.protect(i, sd, OpEnqueue, func(l backend.ShardBackend) {
 			// Pre-count the residency so a mid-insert panic charges the
 			// ambiguous element to this shard; quarantine reconciles the
 			// count against the salvage.
@@ -611,7 +637,7 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget i
 		if budget > 0 {
 			op = OpDequeue
 		}
-		perr := e.protect(mi, sd, op, func(l *core.List) {
+		perr := e.protect(mi, sd, op, func(l backend.ShardBackend) {
 			// The drain limit: extraction is fused into the probe when the
 			// head is unbeatable — rank strictly below every remaining
 			// shard's bound, so no FIFO tie can arise — and the probe
@@ -714,7 +740,7 @@ func (e *Engine) extract(idx int, sd *shard, now clock.Time, lo, hi uint32, rang
 		ent core.Entry
 		ok  bool
 	)
-	perr := e.protect(idx, sd, OpDequeue, func(l *core.List) {
+	perr := e.protect(idx, sd, OpDequeue, func(l backend.ShardBackend) {
 		if ranged {
 			ent, ok = l.DequeueRange(now, lo, hi)
 		} else {
@@ -860,7 +886,7 @@ func (e *Engine) DequeueFlow(id uint32) (core.Entry, bool) {
 			ent core.Entry
 			ok  bool
 		)
-		e.protect(i, sd, OpDequeueFlow, func(l *core.List) {
+		e.protect(i, sd, OpDequeueFlow, func(l backend.ShardBackend) {
 			ent, ok = l.DequeueFlow(id)
 			if !ok {
 				return
@@ -882,6 +908,54 @@ func (e *Engine) DequeueFlow(id uint32) (core.Entry, bool) {
 		}
 	}
 	return core.Entry{}, false
+}
+
+// PeekMax implements backend.Evictor: the cross-shard push-out victim is
+// the largest-(rank, seq) element over the healthy shards — a max
+// tournament over per-shard MaxRankEntrySeq, the mirror image of the
+// dequeue tournament's min over MinRank. Among equal maximal ranks the
+// globally newest arrival (largest stamped sequence) wins, exactly as
+// inside one list. Salvaged entries are invisible here: they cannot be
+// extracted until their shard rebuilds (DequeueFlow's contract), and a
+// victim PeekMax names must be one EvictMax can actually shed.
+func (e *Engine) PeekMax() (core.Entry, bool) {
+	ent, _, ok := e.peekMax()
+	return ent, ok
+}
+
+func (e *Engine) peekMax() (best core.Entry, bestSeq uint64, ok bool) {
+	for _, sd := range e.shards {
+		if sd.downFlag.Load() {
+			continue
+		}
+		sd.mu.Lock()
+		if sd.down {
+			sd.mu.Unlock()
+			continue
+		}
+		ent, seq, has := sd.list.MaxRankEntrySeq()
+		sd.mu.Unlock()
+		if !has {
+			continue
+		}
+		if !ok || ent.Rank > best.Rank || (ent.Rank == best.Rank && seq > bestSeq) {
+			best, bestSeq, ok = ent, seq, true
+		}
+	}
+	return best, bestSeq, ok
+}
+
+// EvictMax implements backend.Evictor: the victim identified by PeekMax
+// is extracted through the engine's point-lookup datapath (DequeueFlow),
+// which keeps the residency and conservation ledgers exact. Best-effort
+// under concurrency: a victim extracted by a racing consumer between the
+// tournament and the point lookup simply reports a miss.
+func (e *Engine) EvictMax() (core.Entry, bool) {
+	victim, _, ok := e.peekMax()
+	if !ok {
+		return core.Entry{}, false
+	}
+	return e.DequeueFlow(victim.ID)
 }
 
 // Peek implements backend.Peeker via the tournament, without extraction.
@@ -944,7 +1018,7 @@ func (e *Engine) UpdateRank(id uint32, rank uint64, sendTime clock.Time) bool {
 			continue
 		}
 		var ok bool
-		perr := e.protect(i, sd, OpUpdateRank, func(l *core.List) {
+		perr := e.protect(i, sd, OpUpdateRank, func(l backend.ShardBackend) {
 			ok = l.UpdateRankSeq(id, rank, sendTime, seq)
 			if ok {
 				sd.noteMutation(sendTime)
@@ -1269,6 +1343,26 @@ func (e *Engine) CheckInvariants() error {
 	return nil
 }
 
+var _ backend.Evictor = (*Engine)(nil)
+
 func init() {
 	backend.Register("sharded", func(n int) backend.Backend { return New(n, DefaultShards) })
+	// Every registered shard backend is also reachable as a top-level
+	// backend "sharded+<name>" — the engine inherits each backend's
+	// speedup for free, and the registry-wide suites (invariants,
+	// differential) cover every combination automatically. "sharded" is
+	// the core combination, so it is not repeated as "sharded+core".
+	for _, name := range backend.ShardNames() {
+		if name == "core" {
+			continue
+		}
+		name := name
+		backend.Register("sharded+"+name, func(n int) backend.Backend {
+			e, err := NewNamed(n, DefaultShards, name)
+			if err != nil {
+				panic(err)
+			}
+			return e
+		})
+	}
 }

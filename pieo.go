@@ -164,11 +164,24 @@ func WrapList(l *List) Backend { return backend.WrapCore(l) }
 
 // NewShardedList creates a sharded concurrent PIEO engine with capacity
 // n split across k independently-locked shards (k <= 0 selects the
-// default shard count).
+// default shard count) over the paper-exact core list in each shard.
 func NewShardedList(n, k int) *ShardedList { return shard.New(n, k) }
 
+// NewShardedListOn creates a sharded engine whose shards run the named
+// registered shard backend ("core", "cffs", ...) — the engine's
+// tournament, combining rings, and quarantine machinery are
+// backend-generic, so any shard backend inherits them unchanged.
+func NewShardedListOn(n, k int, backendName string) (*ShardedList, error) {
+	return shard.NewNamed(n, k, backendName)
+}
+
+// ShardBackendNames lists the registered per-shard backend names
+// accepted by NewShardedListOn.
+func ShardBackendNames() []string { return backend.ShardNames() }
+
 // NewBackend constructs a registered backend by name ("core", "pifo",
-// "approx", "sharded", "ref") with the given capacity.
+// "approx", "sharded", "cffs", "sharded+cffs", "ref") with the given
+// capacity.
 func NewBackend(name string, capacity int) (Backend, error) {
 	return backend.New(name, capacity)
 }

@@ -38,6 +38,18 @@ func NewSyncList(n int) *SyncList {
 	return NewSyncListOn(backend.NewCoreList(n))
 }
 
+// NewSyncListNamed creates a concurrency-safe PIEO list with capacity n
+// over the named registered backend — the same registry NewBackend
+// consults, so "cffs" selects the bucket-queue backend and "core" is
+// identical to NewSyncList.
+func NewSyncListNamed(name string, n int) (*SyncList, error) {
+	b, err := backend.New(name, n)
+	if err != nil {
+		return nil, err
+	}
+	return NewSyncListOn(b), nil
+}
+
 // NewSyncListOn wraps any Backend in a single reader-writer lock.
 func NewSyncListOn(b backend.Backend) *SyncList {
 	return &SyncList{b: b}
