@@ -42,6 +42,12 @@ func main() {
 	cpuprofile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memprofile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+	if flag.NArg() > 0 {
+		// A bare `pieobench hotpath` would otherwise run every experiment,
+		// silently ignoring what the user asked for.
+		fmt.Fprintf(os.Stderr, "pieobench: unexpected argument %q (select experiments with -experiment, backends with -backend)\n", flag.Arg(0))
+		os.Exit(1)
+	}
 
 	if *list {
 		for _, id := range experiments.IDs() {

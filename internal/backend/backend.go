@@ -124,6 +124,40 @@ type RankRanger interface {
 	DequeueRankRange(lo, hi uint64) (core.Entry, bool)
 }
 
+// EligIndexed is implemented by backends that keep a timing-wheel
+// eligibility index over send_time (internal/timewheel): an exact O(1)
+// answer to "when does the next currently-ineligible element become
+// eligible", independent of how many elements are queued. The sharded
+// engine uses it to keep per-shard minSend summaries exact after every
+// mutation (including removals) and to publish exact nextElig bounds;
+// netsim's wake hinting uses it to sleep to the precise next release.
+type EligIndexed interface {
+	// NextWakeAfter returns the exact smallest send_time strictly
+	// greater than now among queued elements, or clock.Never when no
+	// such element exists. Elements already eligible at now do not
+	// contribute: the caller polls Dequeue for those.
+	NextWakeAfter(now clock.Time) clock.Time
+	// EligIndexActive reports whether the index is live. When false
+	// (see DisableEligIndex), NextWakeAfter still answers exactly but
+	// by scanning — the configuration the pacing experiments use as
+	// the recorded non-wheel baseline.
+	EligIndexActive() bool
+	// DisableEligIndex drops the index permanently for this instance;
+	// the backend falls back to its summary-scan paths. Safe at any
+	// point in the lifecycle (the index is advisory, never
+	// authoritative).
+	DisableEligIndex()
+}
+
+// NextWakeAfter consults b's eligibility index, reporting ok=false when
+// b does not implement the capability.
+func NextWakeAfter(b Backend, now clock.Time) (clock.Time, bool) {
+	if ix, ok := b.(EligIndexed); ok {
+		return ix.NextWakeAfter(now), true
+	}
+	return 0, false
+}
+
 // InvariantChecker is implemented by backends with internal structure
 // worth validating after mutations (the sublist geometry of core.List,
 // the shard partitioning of internal/shard).

@@ -45,6 +45,7 @@ import (
 
 	"pieo/internal/clock"
 	"pieo/internal/core"
+	"pieo/internal/timewheel"
 )
 
 const (
@@ -65,6 +66,9 @@ type cnode struct {
 	seq        uint64
 	next, prev int32
 	bkt        int32
+	// wh is the node's handle in the timing-wheel eligibility index
+	// (meaningless while the wheel is disabled).
+	wh int32
 }
 
 // CFFS is the bucket-queue shard backend. It implements ShardBackend;
@@ -89,6 +93,13 @@ type CFFS struct {
 	where map[uint32]int32
 
 	spill []int32 // node indices sorted by (rank, seq)
+
+	// wheel is the timing-wheel eligibility index (internal/timewheel),
+	// mirroring every resident node by send_time: O(1)-exact
+	// MinSendTime, a constant-time "nothing eligible" dequeue verdict,
+	// and exact NextWakeAfter. nil after DisableEligIndex; the exact
+	// send summaries (bktSend/blkSend) then answer alone, unchanged.
+	wheel *timewheel.Wheel
 
 	stats core.Stats
 }
@@ -131,6 +142,7 @@ func NewCFFSQuantized(cfg ShardConfig, q RankQuantizer) *CFFS {
 		l2:       make([]uint64, words2),
 		nodes:    make([]cnode, 0, occ),
 		where:    make(map[uint32]int32, occ),
+		wheel:    timewheel.New(timewheel.Config{Hint: occ}),
 	}
 	for i := range c.head {
 		c.head[i], c.tail[i] = cffsNone, cffsNone
@@ -154,19 +166,26 @@ func (c *CFFS) vbAt(p int) uint64 {
 }
 
 func (c *CFFS) alloc(e core.Entry, seq uint64) int32 {
+	wh := cffsNone
+	if c.wheel != nil {
+		wh = c.wheel.Insert(e.SendTime)
+	}
 	if n := len(c.free); n > 0 {
 		idx := c.free[n-1]
 		c.free = c.free[:n-1]
-		c.nodes[idx] = cnode{ent: e, seq: seq, next: cffsNone, prev: cffsNone, bkt: cffsNone}
+		c.nodes[idx] = cnode{ent: e, seq: seq, next: cffsNone, prev: cffsNone, bkt: cffsNone, wh: wh}
 		return idx
 	}
-	c.nodes = append(c.nodes, cnode{ent: e, seq: seq, next: cffsNone, prev: cffsNone, bkt: cffsNone})
+	c.nodes = append(c.nodes, cnode{ent: e, seq: seq, next: cffsNone, prev: cffsNone, bkt: cffsNone, wh: wh})
 	return int32(len(c.nodes) - 1)
 }
 
 func (c *CFFS) freeNode(idx int32) {
+	if c.wheel != nil {
+		c.wheel.Remove(c.nodes[idx].wh)
+	}
 	delete(c.where, c.nodes[idx].ent.ID)
-	c.nodes[idx] = cnode{next: cffsNone, prev: cffsNone, bkt: cffsNone}
+	c.nodes[idx] = cnode{next: cffsNone, prev: cffsNone, bkt: cffsNone, wh: cffsNone}
 	c.free = append(c.free, idx)
 }
 
@@ -483,6 +502,13 @@ func (c *CFFS) scanSeg(now clock.Time, lo, hi uint32, ranged bool, from, limit i
 // is the spill's exact (rank, seq) minimum) by (rank, seq). The returned
 // spill position is >= 0 iff the winner came from the spill.
 func (c *CFFS) findMinEligible(now clock.Time, lo, hi uint32, ranged bool) (int32, int, bool) {
+	// Wheel fast path: an O(1) exact minimum send_time above now means
+	// nothing anywhere is eligible — no bitmap walk, no spill scan.
+	if c.wheel != nil {
+		if m, ok := c.wheel.MinSendTime(); !ok || m > now {
+			return cffsNone, -1, false
+		}
+	}
 	best := cffsNone
 	if c.bucketCount > 0 {
 		p0 := int(c.winLo & c.mask)
@@ -685,6 +711,9 @@ func (c *CFFS) MinSendTime() (clock.Time, bool) {
 	if len(c.where) == 0 {
 		return 0, false
 	}
+	if c.wheel != nil {
+		return c.wheel.MinSendTime()
+	}
 	m := uint64(clock.Never)
 	for w2 := range c.l2 {
 		for m2 := c.l2[w2]; m2 != 0; m2 &= m2 - 1 {
@@ -741,6 +770,47 @@ func (c *CFFS) MaxRankEntrySeq() (core.Entry, uint64, bool) {
 	n := &c.nodes[best]
 	return n.ent, n.seq, true
 }
+
+// NextWakeAfter implements the EligIndexed capability: the exact
+// smallest send_time strictly above now, clock.Never when none. O(1)
+// through the wheel; the fallback after DisableEligIndex walks every
+// occupied bucket chain and the spill — exact but O(n), which is why
+// the wheel exists.
+func (c *CFFS) NextWakeAfter(now clock.Time) clock.Time {
+	if c.wheel != nil {
+		return c.wheel.NextWakeAfter(now)
+	}
+	best := clock.Never
+	for w2 := range c.l2 {
+		for m2 := c.l2[w2]; m2 != 0; m2 &= m2 - 1 {
+			w1 := w2<<6 + bits.TrailingZeros64(m2)
+			for m1 := c.l1[w1]; m1 != 0; m1 &= m1 - 1 {
+				w0 := w1<<6 + bits.TrailingZeros64(m1)
+				for w := c.l0[w0]; w != 0; w &= w - 1 {
+					p := w0<<6 + bits.TrailingZeros64(w)
+					for at := c.head[p]; at != cffsNone; at = c.nodes[at].next {
+						if t := c.nodes[at].ent.SendTime; t > now && t < best {
+							best = t
+						}
+					}
+				}
+			}
+		}
+	}
+	for _, si := range c.spill {
+		if t := c.nodes[si].ent.SendTime; t > now && t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// EligIndexActive implements the EligIndexed capability.
+func (c *CFFS) EligIndexActive() bool { return c.wheel != nil }
+
+// DisableEligIndex implements the EligIndexed capability, dropping the
+// wheel permanently for this instance.
+func (c *CFFS) DisableEligIndex() { c.wheel = nil }
 
 // Contains implements ShardBackend.
 func (c *CFFS) Contains(id uint32) bool {
@@ -913,6 +983,21 @@ func (c *CFFS) CheckInvariants() error {
 			}
 		}
 	}
+	// Wheel residency must exactly match backend contents.
+	if c.wheel != nil {
+		if c.wheel.Len() != len(c.where) {
+			return fmt.Errorf("cffs: wheel holds %d elements, backend %d", c.wheel.Len(), len(c.where))
+		}
+		for _, idx := range c.where {
+			n := &c.nodes[idx]
+			if got := c.wheel.TimeOf(n.wh); got != n.ent.SendTime {
+				return fmt.Errorf("cffs: wheel handle %d for id %d holds t=%v, node send_time %v", n.wh, n.ent.ID, got, n.ent.SendTime)
+			}
+		}
+		if err := c.wheel.CheckInvariants(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -996,6 +1081,7 @@ func (b *CFFSList) HardwareStats() core.Stats { return b.CFFS.Stats() }
 
 var (
 	_ Backend          = (*CFFSList)(nil)
+	_ EligIndexed      = (*CFFSList)(nil)
 	_ Peeker           = (*CFFSList)(nil)
 	_ RankUpdater      = (*CFFSList)(nil)
 	_ Evictor          = (*CFFSList)(nil)

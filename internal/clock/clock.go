@@ -60,12 +60,15 @@ func (w *Wall) Now() Time { return w.now }
 // Advance moves the clock forward by d ticks.
 func (w *Wall) Advance(d Time) { w.now += d }
 
-// AdvanceTo moves the clock to t. It panics if t is in the past: the
-// simulator event loop must already deliver events in order, so a
-// backwards move is a scheduling bug, not a recoverable condition.
+// AdvanceTo moves the clock to t, clamping monotonically: a t in the
+// past is ignored rather than rewinding the clock. The simulator event
+// loop delivers events in order, so a backwards call only arises when
+// independent wake sources (pacing hints, alarms) race to re-arm the
+// same instant — a no-op is the Source-contract-preserving answer, where
+// the old panic turned a benign stale hint into a crash.
 func (w *Wall) AdvanceTo(t Time) {
 	if t < w.now {
-		panic(fmt.Sprintf("clock: AdvanceTo(%d) would move wall clock backwards from %d", t, w.now))
+		return
 	}
 	w.now = t
 }

@@ -58,6 +58,7 @@ import (
 	"math"
 
 	"pieo/internal/clock"
+	"pieo/internal/timewheel"
 )
 
 // Entry is one element of the ordered list: a flow (or packet) identifier
@@ -129,6 +130,11 @@ type Stats struct {
 type element struct {
 	Entry
 	seq uint64
+	// wh is the element's handle in the list's timing-wheel eligibility
+	// index (meaningless while the wheel is disabled). It travels with
+	// the element through sublist moves, so wheel maintenance happens
+	// only at true insert/extract boundaries.
+	wh int32
 }
 
 // key comparison: rank first, then FIFO sequence.
@@ -289,6 +295,14 @@ type List struct {
 	// is guaranteed to contain an eligible sublist.
 	eligBlk []clock.Time
 
+	// wheel is the timing-wheel eligibility index (internal/timewheel):
+	// every queued element is mirrored into it by send_time, making
+	// MinSendTime O(1)-exact, giving dequeue a constant-time "nothing
+	// eligible" verdict, and answering NextWakeAfter exactly. nil after
+	// DisableEligIndex (the recorded non-wheel baseline): the list then
+	// falls back to its summary scans with identical results.
+	wheel *timewheel.Wheel
+
 	size  int
 	seq   uint64
 	where map[uint32]int // flow id -> sublist id (per-flow state, §5.2 Dequeue(f))
@@ -338,6 +352,7 @@ func NewWithOccupancyHint(n, s, hint int) *List {
 		order:       make([]ptr, num),
 		posOf:       make([]int, num),
 		eligBlk:     make([]clock.Time, (num+eligBlockMask)>>eligBlockShift),
+		wheel:       timewheel.New(timewheel.Config{Hint: hint}),
 		where:       make(map[uint32]int, hint),
 	}
 	// Preallocate two-ended stores for every sublist the hint occupancy
@@ -431,6 +446,10 @@ func (l *List) enqueue(elem element) error {
 	l.stats.Enqueues++
 	l.stats.Cycles += 4
 
+	if l.wheel != nil {
+		elem.wh = l.wheel.Insert(elem.SendTime)
+	}
+
 	if l.active == 0 {
 		// Empty list: the first empty sublist becomes the head.
 		sl := &l.sublists[l.order[0].sublistID]
@@ -520,6 +539,17 @@ func (l *List) enqueue(elem element) error {
 // startPos is a resume hint for batch extraction: callers must guarantee
 // that every position before it is ineligible at now.
 func (l *List) firstEligible(now clock.Time, startPos int) int {
+	// Wheel fast path: the index's O(1) exact minimum send_time decides
+	// "nothing eligible anywhere" without touching a single summary
+	// word — the sparse-eligibility regime where the block scan below
+	// would walk every word and find nothing. (Callers guarantee every
+	// position before startPos is ineligible, so a wheel minimum <= now
+	// is always discoverable at or after startPos.)
+	if l.wheel != nil {
+		if m, ok := l.wheel.MinSendTime(); !ok || m > now {
+			return -1
+		}
+	}
 	pos := startPos
 	for pos < l.active {
 		if pos&eligBlockMask == 0 {
@@ -793,6 +823,9 @@ func (l *List) MinSendTime() (clock.Time, bool) {
 	if l.active == 0 {
 		return 0, false
 	}
+	if l.wheel != nil {
+		return l.wheel.MinSendTime()
+	}
 	minT := clock.Never
 	for b := 0; b<<eligBlockShift < l.active; b++ {
 		if l.eligBlk[b] < minT {
@@ -801,6 +834,43 @@ func (l *List) MinSendTime() (clock.Time, bool) {
 	}
 	return minT, true
 }
+
+// NextWakeAfter returns the exact smallest send_time strictly greater
+// than now among queued elements, or clock.Never when none exists — the
+// backend.EligIndexed capability. O(1) through the wheel; without it
+// (DisableEligIndex) an exact fallback binary-searches each active
+// sublist's sorted eligibility array, O(√N log S).
+func (l *List) NextWakeAfter(now clock.Time) clock.Time {
+	if l.wheel != nil {
+		return l.wheel.NextWakeAfter(now)
+	}
+	best := clock.Never
+	for i := 0; i < l.active; i++ {
+		sl := &l.sublists[l.order[i].sublistID]
+		elig := sl.elig
+		lo, hi := 0, len(elig)
+		for lo < hi {
+			mid := int(uint(lo+hi) >> 1)
+			if elig[mid] <= now {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo < len(elig) && elig[lo] < best {
+			best = elig[lo]
+		}
+	}
+	return best
+}
+
+// EligIndexActive implements backend.EligIndexed.
+func (l *List) EligIndexActive() bool { return l.wheel != nil }
+
+// DisableEligIndex implements backend.EligIndexed: it drops the wheel
+// permanently, reverting every query to the summary-scan paths. The
+// pacing experiments use this as the recorded non-wheel baseline.
+func (l *List) DisableEligIndex() { l.wheel = nil }
 
 // MaxRankEntry returns the largest-(rank, FIFO) element — the push-out
 // victim a rank-aware admission policy evicts when a higher-priority
@@ -832,6 +902,9 @@ func (l *List) MaxRankEntrySeq() (Entry, uint64, bool) {
 func (l *List) extractAt(pos int, sl *sublist, idx int) {
 	wasFull := sl.full(l.sublistSize)
 	id := sl.entries[idx].ID
+	if l.wheel != nil {
+		l.wheel.Remove(sl.entries[idx].wh)
+	}
 	l.removeAt(sl, idx)
 	delete(l.where, id)
 	l.size--
@@ -1204,6 +1277,26 @@ func (l *List) CheckInvariants() error {
 		}
 		if l.eligBlk[b] != m {
 			return fmt.Errorf("summary word %d = %v, want %v", b, l.eligBlk[b], m)
+		}
+	}
+	// Wheel residency must exactly match list contents: same element
+	// count, every queued element's handle live with its send_time, and
+	// the wheel's own structural invariants.
+	if l.wheel != nil {
+		if l.wheel.Len() != l.size {
+			return fmt.Errorf("wheel holds %d elements, list %d", l.wheel.Len(), l.size)
+		}
+		for i := 0; i < l.active; i++ {
+			sl := &l.sublists[l.order[i].sublistID]
+			for j := range sl.entries {
+				e := &sl.entries[j]
+				if got := l.wheel.TimeOf(e.wh); got != e.SendTime {
+					return fmt.Errorf("wheel handle %d for id %d holds t=%v, element send_time %v", e.wh, e.ID, got, e.SendTime)
+				}
+			}
+		}
+		if err := l.wheel.CheckInvariants(); err != nil {
+			return err
 		}
 	}
 	return nil

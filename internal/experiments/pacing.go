@@ -12,7 +12,7 @@ import (
 	"pieo/internal/stats"
 )
 
-// Pacing reproduces the §1 motivation: protocols that "require packets
+// PacingPrecision reproduces the §1 motivation: protocols that "require packets
 // to be transmitted at precise times on the wire, in some cases at
 // nanosecond-level precision", which software schedulers miss because of
 // "non-deterministic software processing jitter and lack of high
@@ -25,7 +25,7 @@ import (
 // and perturbed by dispatch jitter (log-normal-ish mixture with
 // occasional scheduling hiccups) — the standard behavior the paper's
 // citations measure. Reported: release-error distribution for each.
-func Pacing() *Table {
+func PacingPrecision() *Table {
 	const (
 		linkGbps = 40
 		nPackets = 2000
@@ -84,7 +84,7 @@ func Pacing() *Table {
 	rows = append(rows, row("software, 1 us timer tick", swErrors(1_000)))
 	rows = append(rows, row("software, 10 us timer tick", swErrors(10_000)))
 	return &Table{
-		ID:      "pacing",
+		ID:      "pacing-precision",
 		Title:   "Packet pacing precision: release-time error vs a 10 us pacing target (§1)",
 		Columns: []string{"scheduler", "mean err ns", "p99 err ns", "max err ns"},
 		Rows:    rows,

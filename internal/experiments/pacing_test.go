@@ -3,7 +3,7 @@ package experiments
 import "testing"
 
 func TestPacingHardwareExact(t *testing.T) {
-	tab := Pacing()
+	tab := PacingPrecision()
 	hw := tab.Rows[0]
 	for col := 1; col <= 3; col++ {
 		if v := parseLeadingFloat(t, hw[col]); v != 0 {
@@ -13,7 +13,7 @@ func TestPacingHardwareExact(t *testing.T) {
 }
 
 func TestPacingSoftwareJitterVisible(t *testing.T) {
-	tab := Pacing()
+	tab := PacingPrecision()
 	for _, row := range tab.Rows[1:] {
 		if mean := parseLeadingFloat(t, row[1]); mean < 100 {
 			t.Fatalf("%s mean error %v ns implausibly small", row[0], mean)

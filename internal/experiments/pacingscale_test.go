@@ -1,0 +1,47 @@
+package experiments
+
+import (
+	"strconv"
+	"testing"
+)
+
+// TestPacingScaleSmoke runs a cut-down Carousel sweep (few rounds, 10K
+// ceiling) and checks the structural claims the full experiment records:
+// every wake hint is exact and the wheel never loses to the scan badly
+// (the speedup column parses and stays positive). Perf thresholds are
+// NOT asserted here — CI timing is noise; EXPERIMENTS.md holds the
+// calibrated numbers.
+func TestPacingScaleSmoke(t *testing.T) {
+	t.Setenv("PIEO_PACING_ROUNDS", "300")
+	t.Setenv("PIEO_PACING_FLOWS", "10000")
+	tab := PacingScale()
+	if len(tab.Rows) == 0 {
+		t.Fatal("pacing sweep produced no rows")
+	}
+	for _, row := range tab.Rows {
+		if row[6] != "100.0" {
+			t.Fatalf("backend %s flows %s index %s: exact%% = %s, want 100.0", row[0], row[1], row[2], row[6])
+		}
+		sp, err := strconv.ParseFloat(row[7], 64)
+		if err != nil || sp <= 0 {
+			t.Fatalf("backend %s flows %s: bad speedup %q (%v)", row[0], row[1], row[7], err)
+		}
+	}
+}
+
+// TestPacingScaleExactWakes drives one configuration directly and
+// asserts the wheel-indexed measurement dispatches packets and reports
+// every wake as exact — the "packets transmitted at precise times"
+// requirement the index exists for.
+func TestPacingScaleExactWakes(t *testing.T) {
+	t.Setenv("PIEO_PACING_ROUNDS", "500")
+	for _, name := range []string{"core", "sharded"} {
+		res := pacingScaleMeasure(name, 5000, true)
+		if res.dispatch == 0 {
+			t.Fatalf("%s: no packets dispatched", name)
+		}
+		if res.exactPct != 100 {
+			t.Fatalf("%s: exact%% = %v, want 100", name, res.exactPct)
+		}
+	}
+}

@@ -80,28 +80,29 @@ type Runner func() *Table
 
 // registry maps experiment ids to their runners.
 var registry = map[string]Runner{
-	"fig2":      Fig2,
-	"fig8":      Fig8,
-	"fig9":      Fig9,
-	"fig10":     Fig10,
-	"rate":      SchedulingRate,
-	"scale":     Scalability,
-	"fig11":     Fig11,
-	"fig12":     Fig12,
-	"deviation": Deviation,
-	"ablation":  Ablation,
-	"pipeline":  Pipeline,
-	"trigger":   TriggerModels,
-	"devices":   Devices,
-	"approx":    Approx,
-	"pacing":    Pacing,
-	"wfi":       WFI,
-	"hier3":     Hier3,
-	"hotpath":   Hotpath,
-	"overload":  Overload,
-	"combining": Combining,
-	"cffs":      CFFS,
-	"qdev":      QuantDeviation,
+	"fig2":             Fig2,
+	"fig8":             Fig8,
+	"fig9":             Fig9,
+	"fig10":            Fig10,
+	"rate":             SchedulingRate,
+	"scale":            Scalability,
+	"fig11":            Fig11,
+	"fig12":            Fig12,
+	"deviation":        Deviation,
+	"ablation":         Ablation,
+	"pipeline":         Pipeline,
+	"trigger":          TriggerModels,
+	"devices":          Devices,
+	"approx":           Approx,
+	"pacing":           PacingScale,
+	"pacing-precision": PacingPrecision,
+	"wfi":              WFI,
+	"hier3":            Hier3,
+	"hotpath":          Hotpath,
+	"overload":         Overload,
+	"combining":        Combining,
+	"cffs":             CFFS,
+	"qdev":             QuantDeviation,
 }
 
 // IDs returns the registered experiment ids, sorted.

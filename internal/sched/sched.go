@@ -580,6 +580,14 @@ func (s *Scheduler) NextWake(now clock.Time) (clock.Time, bool) {
 		// Non-wall predicate domain: no wall-clock mapping is known.
 		return 0, false
 	}
+	if t, ok := backend.NextWakeAfter(s.List, now); ok {
+		// The eligibility index answers the WakeHinter contract directly:
+		// the exact earliest FUTURE eligibility instant, with elements
+		// eligible already excluded (the simulator polls those without a
+		// hint) and all-Never backlogs reported as "no wake known"
+		// instead of an arm-at-infinity hint.
+		return t, t != clock.Never
+	}
 	return s.List.MinSendTime()
 }
 

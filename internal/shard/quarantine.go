@@ -240,7 +240,7 @@ func (e *Engine) quarantineLocked(i int, sd *shard, op string, cause any) {
 
 	sd.down = true
 	sd.downFlag.Store(true)
-	sd.list = nil
+	sd.bindList(nil)
 	sd.salvaged = ents
 	sd.salvagedSeqs = seqs
 	sd.salvageIDs = ids
@@ -346,7 +346,7 @@ func (e *Engine) tryRebuild(i int, sd *shard, force bool) bool {
 		e.recordEvent(FaultEvent{Shard: i, Op: OpRebuild, Salvaged: len(sd.salvaged)})
 	}
 
-	sd.list = fresh
+	sd.bindList(fresh)
 	sd.salvaged, sd.salvagedSeqs, sd.salvageIDs = nil, nil, nil
 	sd.attempts = 0
 	sd.down = false

@@ -98,6 +98,17 @@ type shard struct {
 	eng  *Engine
 	ring *opRing
 
+	// idx is list's timing-wheel eligibility view when the backend
+	// provides one (backend.EligIndexed), nil otherwise; exact caches
+	// idx.EligIndexActive() so the summary helpers branch on a plain
+	// bool under mu. While exact, minSend is maintained EXACTLY after
+	// every mutation — the wheel makes MinSendTime O(1) — instead of as
+	// a stale-low bound, so raiseNextElig republishes exact engine-wide
+	// next-eligible times. Both fields are rebound whenever a list is
+	// installed (bindList) and demoted by Engine.DisableEligIndex.
+	idx   backend.EligIndexed
+	exact bool
+
 	// Summaries published under mu after every mutation, read without the
 	// lock by the tournament's pruning pass. A reader may observe a
 	// summary one mutation stale; the extraction path re-validates under
@@ -112,7 +123,9 @@ type shard struct {
 	// dominating the mutation paths). A low bound is sound for pruning — a
 	// shard is skipped only when even its most optimistic element is
 	// ineligible — and a failed peek repairs the bound exactly when the
-	// staleness wasted work.
+	// staleness wasted work. On a wheel-indexed backend (see idx/exact)
+	// the O(√n) recompute collapses to an O(1) wheel read and minSend is
+	// kept exact after every mutation, removals included.
 	minRank *atomic.Uint64 // emptyRank when empty
 	minSend atomic.Uint64  // lower bound; clock.Never when empty
 
@@ -142,7 +155,10 @@ type shard struct {
 }
 
 // noteMutation refreshes the summary after inserting (or re-ranking) an
-// element with the given send time, in O(1). Callers must hold mu.
+// element with the given send time, in O(1). Callers must hold mu. On a
+// wheel-indexed list the minSend summary is refreshed exactly — an O(1)
+// wheel read — so a re-rank that RAISED a send time tightens it too;
+// otherwise send only lowers the stale-safe bound.
 func (s *shard) noteMutation(send clock.Time) {
 	if r, ok := s.list.MinRank(); ok {
 		if r == emptyRank {
@@ -150,7 +166,9 @@ func (s *shard) noteMutation(send clock.Time) {
 		}
 		s.minRank.Store(r)
 	}
-	if uint64(send) < s.minSend.Load() {
+	if s.exact {
+		s.refreshMinSend()
+	} else if uint64(send) < s.minSend.Load() {
 		s.minSend.Store(uint64(send))
 	}
 	// The engine-wide index tightens AFTER the shard summary: raiseNextElig
@@ -160,14 +178,19 @@ func (s *shard) noteMutation(send clock.Time) {
 }
 
 // noteRemoval refreshes the summary after removing an element, in O(1);
-// minSend stays a stale lower bound unless the shard emptied. Callers
-// must hold mu.
+// minSend stays a stale lower bound unless the shard emptied — except on
+// a wheel-indexed list, where an O(1) wheel read keeps it exact so
+// raiseNextElig recomputes an exact engine bound instead of a stale-low
+// one. Callers must hold mu.
 func (s *shard) noteRemoval() {
 	if r, ok := s.list.MinRank(); ok {
 		if r == emptyRank {
 			r--
 		}
 		s.minRank.Store(r)
+		if s.exact {
+			s.refreshMinSend()
+		}
 	} else {
 		s.minRank.Store(emptyRank)
 		s.minSend.Store(uint64(clock.Never))
@@ -181,6 +204,28 @@ func (s *shard) refreshMinSend() {
 		s.minSend.Store(uint64(t))
 	} else {
 		s.minSend.Store(uint64(clock.Never))
+	}
+}
+
+// bindList installs l as the shard's backend and rebinds the
+// eligibility-index capability views (idx, exact). Engine construction
+// and quarantine rebuilds are the only callers; both own the shard
+// exclusively (pre-publication, or under mu while down). A latched
+// Engine.DisableEligIndex propagates here so a rebuilt incarnation
+// comes up with its wheel dropped too.
+func (s *shard) bindList(l backend.ShardBackend) {
+	s.list = l
+	s.idx = nil
+	s.exact = false
+	if l == nil {
+		return
+	}
+	if ix, ok := l.(backend.EligIndexed); ok {
+		if s.eng.eligOff.Load() {
+			ix.DisableEligIndex()
+		}
+		s.idx = ix
+		s.exact = ix.EligIndexActive()
 	}
 }
 
@@ -251,6 +296,11 @@ type Engine struct {
 	// racing inserts; see DESIGN.md §9 for the ordering argument.
 	nextElig atomic.Uint64
 	eligVer  atomic.Uint64
+
+	// eligOff latches Engine.DisableEligIndex so quarantine rebuilds
+	// construct their fresh incarnations without a wheel index either —
+	// otherwise a fault would silently re-enable the index mid-baseline.
+	eligOff atomic.Bool
 }
 
 // New creates a sharded engine with total capacity n spread over k
@@ -305,11 +355,11 @@ func NewOn(n, k int, factory backend.ShardFactory) *Engine {
 	}
 	for i := range e.shards {
 		e.shards[i] = &shard{
-			list:    e.newList(),
 			eng:     e,
 			ring:    newOpRing(),
 			minRank: &e.minRanks[i],
 		}
+		e.shards[i].bindList(e.newList())
 		e.shards[i].minRank.Store(emptyRank)
 		e.shards[i].minSend.Store(uint64(clock.Never))
 	}
@@ -1121,6 +1171,88 @@ func (e *Engine) MinSendTime() (clock.Time, bool) {
 	return minT, found
 }
 
+// NextWakeAfter implements backend.EligIndexed across the shard set: the
+// exact smallest send_time strictly greater than now among elements
+// queued in healthy shards, clock.Never when there is none. Down shards
+// are skipped — their salvaged entries are not dequeueable until
+// rebuild, so waking for them would find nothing; the rebuild
+// re-tightens nextElig when it installs the fresh list. Like MinSendTime
+// this is an idle-path query: each shard answers under its lock (an O(1)
+// wheel read when indexed, a scan otherwise), with the lock-free minSend
+// bound pruning shards that cannot beat the best value in hand (every
+// resident send_time is >= the bound, so the wake is too).
+func (e *Engine) NextWakeAfter(now clock.Time) clock.Time {
+	best := clock.Never
+	for _, sd := range e.shards {
+		if !sd.downFlag.Load() {
+			if sd.minRank.Load() == emptyRank {
+				continue
+			}
+			if clock.Time(sd.minSend.Load()) >= best {
+				continue
+			}
+		}
+		sd.mu.Lock()
+		if sd.down {
+			sd.mu.Unlock()
+			continue
+		}
+		var t clock.Time
+		if sd.idx != nil {
+			t = sd.idx.NextWakeAfter(now)
+		} else {
+			t = clock.Never
+			for _, ent := range sd.list.Snapshot() {
+				if ent.SendTime > now && ent.SendTime < t {
+					t = ent.SendTime
+				}
+			}
+		}
+		sd.mu.Unlock()
+		if t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// EligIndexActive implements backend.EligIndexed: true when every
+// healthy shard's list carries a live wheel index. NextWakeAfter answers
+// exactly either way (the unindexed path scans); the flag tells
+// consumers — and the pacing experiments' baseline switch — which regime
+// produced the answer.
+func (e *Engine) EligIndexActive() bool {
+	if e.eligOff.Load() {
+		return false
+	}
+	for _, sd := range e.shards {
+		sd.mu.Lock()
+		ok := sd.down || sd.exact
+		sd.mu.Unlock()
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// DisableEligIndex implements backend.EligIndexed: drops every shard's
+// wheel index and latches the engine so quarantine rebuilds construct
+// fresh incarnations without one. The per-shard minSend summaries revert
+// to the stale-low-bound regime — the recorded non-wheel baseline the
+// pacing experiments measure against.
+func (e *Engine) DisableEligIndex() {
+	e.eligOff.Store(true)
+	for _, sd := range e.shards {
+		sd.mu.Lock()
+		if sd.idx != nil {
+			sd.idx.DisableEligIndex()
+			sd.exact = false
+		}
+		sd.mu.Unlock()
+	}
+}
+
 // Snapshot implements backend.Backend: a global (rank, FIFO) merge of the
 // per-shard snapshots, exact when quiescent. Shards are locked one at a
 // time, so a concurrent mutation may straddle the cut.
@@ -1309,6 +1441,11 @@ func (e *Engine) CheckInvariants() error {
 			if t, ok := sd.list.MinSendTime(); ok {
 				if bound := clock.Time(sd.minSend.Load()); bound > t {
 					return fmt.Errorf("shard %d: minSend bound %v above true min %v", i, bound, t)
+				} else if sd.exact && bound != t {
+					// Wheel-indexed shards refresh exactly on every
+					// mutation; a stale-low bound here means a mutation
+					// path skipped noteMutation/noteRemoval.
+					return fmt.Errorf("shard %d: wheel-indexed minSend %v, true min %v", i, bound, t)
 				}
 				if t < healthyMinSend {
 					healthyMinSend = t

@@ -18,6 +18,7 @@ var (
 	_ backend.Backend          = (*shard.Engine)(nil)
 	_ backend.Peeker           = (*shard.Engine)(nil)
 	_ backend.RankUpdater      = (*shard.Engine)(nil)
+	_ backend.EligIndexed      = (*shard.Engine)(nil)
 	_ backend.InvariantChecker = (*shard.Engine)(nil)
 	_ backend.HardwareModeled  = (*shard.Engine)(nil)
 )

@@ -1,0 +1,108 @@
+package timewheel
+
+import (
+	"encoding/binary"
+	"testing"
+
+	"pieo/internal/clock"
+)
+
+// FuzzTimeWheel drives random insert/remove/update/advance
+// interleavings from the fuzz input and asserts, against a brute-force
+// oracle, that NextWake() is always the exact minimum send_time of the
+// resident ineligible (send_time > now) elements, that MinSendTime()
+// is the exact resident minimum, and that the structural invariants
+// hold after every operation.
+func FuzzTimeWheel(f *testing.F) {
+	f.Add([]byte{0, 1, 2, 3, 4, 5, 6, 7, 8})
+	f.Add([]byte{0x10, 0xff, 0x00, 0x42, 0x99, 0x01, 0x02})
+	seed := make([]byte, 0, 64)
+	for i := 0; i < 16; i++ {
+		seed = append(seed, byte(i*37), byte(255-i), byte(i))
+	}
+	f.Add(seed)
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		// A deliberately tiny, coarse wheel so the fuzzer reaches window
+		// slides and both overflow regions within a few operations.
+		w := New(Config{SlotShift: 2, Slots: 64, Hint: 8})
+		res := map[int32]clock.Time{}
+		var handles []int32
+
+		u16 := func(i int) uint64 {
+			if i+1 < len(data) {
+				return uint64(binary.LittleEndian.Uint16(data[i:]))
+			}
+			return 0
+		}
+		// decodeTime stretches 2 bytes across the full clock domain:
+		// small values, granule-scaled values, and the Never edge.
+		decodeTime := func(i int) clock.Time {
+			v := u16(i)
+			switch v & 3 {
+			case 0:
+				return clock.Time(v >> 2)
+			case 1:
+				return clock.Time((v >> 2) << 7)
+			case 2:
+				return clock.Time((v >> 2) << 44)
+			default:
+				return clock.Never - clock.Time(v>>2)
+			}
+		}
+
+		now := clock.Time(0)
+		for i := 0; i+2 < len(data); i += 3 {
+			switch op := data[i] & 3; {
+			case op == 0 || len(handles) == 0:
+				tm := decodeTime(i + 1)
+				h := w.Insert(tm)
+				res[h] = tm
+				handles = append(handles, h)
+			case op == 1:
+				j := int(u16(i+1)) % len(handles)
+				h := handles[j]
+				w.Remove(h)
+				delete(res, h)
+				handles[j] = handles[len(handles)-1]
+				handles = handles[:len(handles)-1]
+			case op == 2:
+				j := int(data[i+1]) % len(handles)
+				h := handles[j]
+				nt := decodeTime(i + 2)
+				w.Update(h, nt)
+				res[h] = nt
+			default:
+				now += clock.Time(u16(i + 1))
+				w.Advance(now)
+			}
+
+			if err := w.CheckInvariants(); err != nil {
+				t.Fatal(err)
+			}
+			if w.Len() != len(res) {
+				t.Fatalf("Len = %d, oracle %d", w.Len(), len(res))
+			}
+
+			// Oracle: exact min over residents, and exact min above now.
+			oMin, oOK := clock.Never, false
+			oWake := clock.Never
+			for _, tm := range res {
+				oOK = true
+				if tm < oMin {
+					oMin = tm
+				}
+				if tm > w.Now() && tm < oWake {
+					oWake = tm
+				}
+			}
+			if got := w.NextWake(); got != oWake {
+				t.Fatalf("NextWake at %d = %d, oracle %d (residents %v)", w.Now(), got, oWake, res)
+			}
+			gm, gok := w.MinSendTime()
+			if gok != oOK || (gok && gm != oMin) {
+				t.Fatalf("MinSendTime = (%d,%v), oracle (%d,%v)", gm, gok, oMin, oOK)
+			}
+		}
+	})
+}

@@ -1,0 +1,826 @@
+// Package timewheel implements the hierarchical timing-wheel
+// eligibility index: a structure that tracks every queued element's
+// send_time and answers, in O(1), "what is the earliest send_time?"
+// (MinSendTime) and "when does the next ineligible element become
+// eligible?" (NextWakeAfter). The rank structures (core.List's
+// sublists, the cFFS bucket queue) stay authoritative for dequeue
+// order; the wheel is a secondary index on the *time* axis, the same
+// role Carousel's timing wheel plays beside the flow table and the one
+// Eiffel's gradient-queue discussion motivates (PAPERS.md).
+//
+// Layout. Time is quantized into granules of 2^shift ticks. A CIRCULAR
+// WINDOW of S (power-of-two) consecutive granules [winLo, winLo+S) maps
+// granule g to physical slot g&(S-1) — winLo-independent, exactly the
+// cFFS trick, so sliding the window forward moves no data. Each slot
+// keeps an unordered intrusive doubly-linked chain of resident
+// elements plus an exact chain minimum and a count of how many chain
+// nodes hold that minimum (the equal-min count means removing one of
+// many identical send_times — e.g. a pile of clock.Always — never
+// rescans). A three-level uint64 bitmap hierarchy (l0: one bit per
+// slot; l1/l2 summaries) finds the first occupied slot at or after a
+// granule in a handful of TrailingZeros64 calls.
+//
+// Times that fall outside the window land in one of two unsorted
+// overflow regions — `low` (typically past/eligible granules behind
+// the window) and `high` (beyond the horizon) — each with the same
+// exact min + equal-min count discipline. Exactness NEVER depends on
+// the window geometry: a mis-sized window only moves elements into the
+// overflow regions, where queries still see their exact minimum and
+// fall back to an O(region) chain scan only when the region minimum is
+// already eligible. clock.Never quantizes into `high` and naturally
+// reports "no wake".
+//
+// Elements are identified by int32 handles into an internal arena
+// (free-list recycled, so steady-state operation is allocation-free).
+// Callers store the handle next to the element — core.List in its
+// element struct, cFFS in its cnode — avoiding any hash lookup on the
+// hot path.
+package timewheel
+
+import (
+	"fmt"
+	"math/bits"
+
+	"pieo/internal/clock"
+)
+
+const (
+	// DefaultSlotShift is log2 ticks per granule: 2^10 = 1024 ticks
+	// (≈1 µs at nanosecond resolution), a granularity under which the
+	// default window spans tens of milliseconds of pacing horizon.
+	DefaultSlotShift = 10
+
+	// minSlots/maxSlots clamp the derived window so tiny lists stay
+	// tiny (16 KiB) and huge ones stay cache-sane (1 MiB).
+	minSlots = 1 << 10
+	maxSlots = 1 << 16
+
+	none = int32(-1)
+
+	locFree = int32(-1)
+	locLow  = int32(-2)
+	locHigh = int32(-3)
+)
+
+// node is one indexed element: its send_time, intrusive chain links,
+// and where it lives (physical slot >= 0, or a loc* region sentinel).
+type node struct {
+	t          uint64
+	next, prev int32
+	loc        int32
+}
+
+// region is an unsorted overflow chain with an exact minimum and the
+// count of chain nodes holding it.
+type region struct {
+	head  int32
+	count int
+	min   uint64
+	minN  int
+}
+
+// Config sizes a Wheel.
+type Config struct {
+	// SlotShift is log2 ticks per granule. Zero means DefaultSlotShift;
+	// pass a negative value for an explicit shift of 0 (1 tick/slot).
+	SlotShift int
+	// Slots is the window size in granules; must be a power of two
+	// >= 64. Zero derives it from Hint.
+	Slots int
+	// Hint is the expected resident element count; it pre-sizes the
+	// node arena and (when Slots is zero) the window.
+	Hint int
+}
+
+// Wheel is the timing-wheel index. Not safe for concurrent use — it
+// lives inside a structure that is already externally locked (a shard
+// backend under the engine's per-shard mutex, or SyncList's).
+type Wheel struct {
+	shift uint
+	slots int
+	mask  uint64
+	winLo uint64 // granule at the window start
+	now   clock.Time
+
+	head    []int32
+	slotMin []uint64 // exact chain min per slot; clock.Never when empty
+	minN    []int32  // how many chain nodes hold slotMin
+	l0      []uint64 // one bit per slot: set ⇔ chain nonempty
+	l1, l2  []uint64
+
+	low, high region
+
+	slotCount int // residents in window slots
+	size      int
+
+	nodes []node
+	free  []int32
+}
+
+// New creates a wheel from cfg (see Config for defaults).
+func New(cfg Config) *Wheel {
+	shift := cfg.SlotShift
+	switch {
+	case shift == 0:
+		shift = DefaultSlotShift
+	case shift < 0:
+		shift = 0
+	}
+	if shift > 32 {
+		panic(fmt.Sprintf("timewheel: slot shift %d out of range [0,32]", shift))
+	}
+	slots := cfg.Slots
+	if slots == 0 {
+		slots = minSlots
+		for slots < maxSlots && slots < 4*cfg.Hint {
+			slots <<= 1
+		}
+	}
+	if slots < 64 || slots&(slots-1) != 0 {
+		panic(fmt.Sprintf("timewheel: slots must be a power of two >= 64, got %d", slots))
+	}
+	words0 := slots / 64
+	words1 := (words0 + 63) / 64
+	words2 := (words1 + 63) / 64
+	w := &Wheel{
+		shift:   uint(shift),
+		slots:   slots,
+		mask:    uint64(slots - 1),
+		head:    make([]int32, slots),
+		slotMin: make([]uint64, slots),
+		minN:    make([]int32, slots),
+		l0:      make([]uint64, words0),
+		l1:      make([]uint64, words1),
+		l2:      make([]uint64, words2),
+		low:     region{head: none, min: uint64(clock.Never)},
+		high:    region{head: none, min: uint64(clock.Never)},
+	}
+	if cfg.Hint > 0 {
+		w.nodes = make([]node, 0, cfg.Hint)
+		w.free = make([]int32, 0, 16)
+	}
+	for i := range w.head {
+		w.head[i] = none
+		w.slotMin[i] = uint64(clock.Never)
+	}
+	return w
+}
+
+// Len returns the number of indexed elements.
+func (w *Wheel) Len() int { return w.size }
+
+// Now returns the wheel's advanced time.
+func (w *Wheel) Now() clock.Time { return w.now }
+
+// TimeOf returns the send_time handle h was inserted (or last updated)
+// with. It panics on a dead handle.
+func (w *Wheel) TimeOf(h int32) clock.Time { return clock.Time(w.node(h).t) }
+
+// maxWinLo is the largest window base that keeps granule reconstruction
+// (winLo + delta) inside the granule domain.
+func (w *Wheel) maxWinLo() uint64 {
+	return (^uint64(0) >> w.shift) - uint64(w.slots)
+}
+
+func (w *Wheel) inWindow(g uint64) bool { return g-w.winLo < uint64(w.slots) }
+
+// vbAt reconstructs the granule of physical slot p under the current
+// window.
+func (w *Wheel) vbAt(p int) uint64 {
+	return w.winLo + ((uint64(p) - w.winLo) & w.mask)
+}
+
+func (w *Wheel) node(h int32) *node {
+	if h < 0 || int(h) >= len(w.nodes) || w.nodes[h].loc == locFree {
+		panic(fmt.Sprintf("timewheel: dead handle %d", h))
+	}
+	return &w.nodes[h]
+}
+
+func (w *Wheel) alloc(t uint64) int32 {
+	if n := len(w.free); n > 0 {
+		h := w.free[n-1]
+		w.free = w.free[:n-1]
+		w.nodes[h] = node{t: t, next: none, prev: none}
+		return h
+	}
+	w.nodes = append(w.nodes, node{t: t, next: none, prev: none})
+	return int32(len(w.nodes) - 1)
+}
+
+// Insert indexes an element with send_time t and returns its handle.
+func (w *Wheel) Insert(t clock.Time) int32 {
+	h := w.alloc(uint64(t))
+	w.place(h)
+	w.size++
+	return h
+}
+
+// Remove drops handle h from the index.
+func (w *Wheel) Remove(h int32) {
+	w.unlink(h)
+	w.nodes[h].loc = locFree
+	w.free = append(w.free, h)
+	w.size--
+}
+
+// Update changes handle h's send_time to t, keeping the handle valid.
+func (w *Wheel) Update(h int32, t clock.Time) {
+	w.unlink(h)
+	n := &w.nodes[h]
+	n.t = uint64(t)
+	n.next, n.prev = none, none
+	w.place(h)
+}
+
+// Advance moves the wheel's notion of current time forward (backwards
+// moves are ignored — the wheel is monotonic, like clock.Wall).
+func (w *Wheel) Advance(now clock.Time) {
+	if now > w.now {
+		w.now = now
+	}
+}
+
+// place routes node h into a window slot or an overflow region,
+// sliding the window forward when the occupied span allows.
+func (w *Wheel) place(h int32) {
+	n := &w.nodes[h]
+	g := n.t >> w.shift
+	switch {
+	case w.slotCount == 0 && g <= w.maxWinLo():
+		// Empty window: snap it to g, keeping slots/8 of back-slack so
+		// slightly-earlier inserts still land in a slot.
+		lo := uint64(0)
+		if back := uint64(w.slots) >> 3; g > back {
+			lo = g - back
+		}
+		w.winLo = lo
+		w.slotInsert(h, g)
+	case w.inWindow(g):
+		w.slotInsert(h, g)
+	case g < w.winLo:
+		// Below the window start: re-anchor the window so g lands in a
+		// slot. The window must track the DRAIN FRONT — the min end is
+		// where dequeues concentrate, and an element stranded in an
+		// overflow region there turns every min removal into an
+		// O(region) rescan.
+		w.reanchorDown(g)
+		w.slotInsert(h, g)
+	default:
+		// Beyond the window end: slide forward when every resident slot
+		// still fits behind g (winLo only ever moves forward, so slot
+		// residents and their bitmap positions stay valid).
+		if w.slotCount > 0 {
+			newLo := g - uint64(w.slots) + 1
+			if g-w.firstOccGranule() < uint64(w.slots) && newLo <= w.maxWinLo() {
+				w.winLo = newLo
+				w.slotInsert(h, g)
+				return
+			}
+		}
+		n.loc = locHigh
+		w.regionInsert(&w.high, h)
+	}
+}
+
+// reanchorDown moves the window start down to cover granule g < winLo.
+// When the resident span still fits a window anchored at g the move is
+// free: the physical mapping (granule&mask) and the occupancy bitmaps
+// are winLo-independent, so repositioning is just the winLo store.
+// Otherwise residents past the new top are evicted to the high region —
+// they are far from the drain front, where chain membership is cheap
+// (an eviction is O(1) per node and each migrates back through refill
+// at most once per window rotation). Callers guarantee slotCount > 0
+// (an empty window snaps in place()).
+func (w *Wheel) reanchorDown(g uint64) {
+	newTop := g + uint64(w.slots)
+	if last := w.lastOccGranule(); last < newTop {
+		lo := g
+		if back := uint64(w.slots) >> 3; g > back && last-(g-back) < uint64(w.slots) {
+			lo = g - back
+		}
+		w.winLo = lo
+		return
+	}
+	for p := w.nextSet(0, w.slots); p >= 0; p = w.nextSet(p+1, w.slots) {
+		if w.vbAt(p) < newTop {
+			continue
+		}
+		for at := w.head[p]; at != none; {
+			next := w.nodes[at].next
+			n := &w.nodes[at]
+			n.next, n.prev = none, none
+			n.loc = locHigh
+			w.regionInsert(&w.high, at)
+			w.slotCount--
+			at = next
+		}
+		w.head[p] = none
+		w.slotMin[p], w.minN[p] = uint64(clock.Never), 0
+		w.clearBit(p)
+	}
+	w.winLo = g
+}
+
+// refill re-anchors a drained window at the overflow minimum and pulls
+// every region node that now fits into its slot, so the drain front
+// keeps O(1) removals as it works through a horizon wider than the
+// window. Each node migrates out of a region at most once per window
+// rotation, amortizing the walk against the removals that emptied the
+// window. A horizon of pure clock.Never residents stays regional: no
+// finite anchor exists and their equal-min counts already make
+// removals O(1).
+func (w *Wheel) refill() {
+	m := w.low.min
+	if w.high.count > 0 && (w.low.count == 0 || w.high.min < m) {
+		m = w.high.min
+	}
+	g := m >> w.shift
+	if g > w.maxWinLo() {
+		return
+	}
+	lo := uint64(0)
+	if back := uint64(w.slots) >> 3; g > back {
+		lo = g - back
+	}
+	w.winLo = lo
+	w.drainRegion(&w.low)
+	w.drainRegion(&w.high)
+}
+
+// drainRegion re-places every node of r: into a window slot when its
+// granule fits, back into the HIGH region otherwise. After a refill the
+// low region is always empty — the new window start sits at or below
+// every regional granule.
+func (w *Wheel) drainRegion(r *region) {
+	head := r.head
+	*r = region{head: none, min: uint64(clock.Never)}
+	for at := head; at != none; {
+		next := w.nodes[at].next
+		n := &w.nodes[at]
+		n.next, n.prev = none, none
+		if g := n.t >> w.shift; w.inWindow(g) {
+			w.slotInsert(at, g)
+		} else {
+			n.loc = locHigh
+			w.regionInsert(&w.high, at)
+		}
+		at = next
+	}
+}
+
+// unlink detaches node h from whatever container holds it, leaving the
+// node itself allocated.
+func (w *Wheel) unlink(h int32) {
+	switch n := w.node(h); n.loc {
+	case locLow:
+		w.regionRemove(&w.low, h)
+	case locHigh:
+		w.regionRemove(&w.high, h)
+	default:
+		w.slotRemove(h)
+	}
+}
+
+// --- Window slots ---
+
+func (w *Wheel) slotInsert(h int32, g uint64) {
+	p := int(g & w.mask)
+	n := &w.nodes[h]
+	n.loc = int32(p)
+	n.prev = none
+	n.next = w.head[p]
+	if w.head[p] == none {
+		w.setBit(p)
+		w.slotMin[p], w.minN[p] = n.t, 1
+	} else {
+		w.nodes[w.head[p]].prev = h
+		if n.t < w.slotMin[p] {
+			w.slotMin[p], w.minN[p] = n.t, 1
+		} else if n.t == w.slotMin[p] {
+			w.minN[p]++
+		}
+	}
+	w.head[p] = h
+	w.slotCount++
+}
+
+func (w *Wheel) slotRemove(h int32) {
+	n := &w.nodes[h]
+	p := int(n.loc)
+	if n.prev != none {
+		w.nodes[n.prev].next = n.next
+	} else {
+		w.head[p] = n.next
+	}
+	if n.next != none {
+		w.nodes[n.next].prev = n.prev
+	}
+	w.slotCount--
+	if w.head[p] == none {
+		w.clearBit(p)
+		w.slotMin[p], w.minN[p] = uint64(clock.Never), 0
+		if w.slotCount == 0 && w.low.count+w.high.count > 0 {
+			w.refill()
+		}
+		return
+	}
+	if n.t == w.slotMin[p] {
+		if w.minN[p]--; w.minN[p] == 0 {
+			m, c := uint64(clock.Never), int32(0)
+			for at := w.head[p]; at != none; at = w.nodes[at].next {
+				switch t := w.nodes[at].t; {
+				case t < m:
+					m, c = t, 1
+				case t == m:
+					c++
+				}
+			}
+			w.slotMin[p], w.minN[p] = m, c
+		}
+	}
+}
+
+// --- Overflow regions ---
+
+func (w *Wheel) regionInsert(r *region, h int32) {
+	n := &w.nodes[h]
+	n.prev = none
+	n.next = r.head
+	if r.head != none {
+		w.nodes[r.head].prev = h
+	}
+	r.head = h
+	switch {
+	case r.count == 0 || n.t < r.min:
+		r.min, r.minN = n.t, 1
+	case n.t == r.min:
+		r.minN++
+	}
+	r.count++
+}
+
+func (w *Wheel) regionRemove(r *region, h int32) {
+	n := &w.nodes[h]
+	if n.prev != none {
+		w.nodes[n.prev].next = n.next
+	} else {
+		r.head = n.next
+	}
+	if n.next != none {
+		w.nodes[n.next].prev = n.prev
+	}
+	r.count--
+	if n.t == r.min {
+		if r.minN--; r.minN == 0 {
+			m, c := uint64(clock.Never), 0
+			for at := r.head; at != none; at = w.nodes[at].next {
+				switch t := w.nodes[at].t; {
+				case t < m:
+					m, c = t, 1
+				case t == m:
+					c++
+				}
+			}
+			r.min, r.minN = m, c
+		}
+	}
+}
+
+// --- Bitmap hierarchy ---
+
+func (w *Wheel) setBit(p int) {
+	w0 := p >> 6
+	if w.l0[w0] == 0 {
+		w1 := w0 >> 6
+		if w.l1[w1] == 0 {
+			w.l2[w1>>6] |= 1 << uint(w1&63)
+		}
+		w.l1[w1] |= 1 << uint(w0&63)
+	}
+	w.l0[w0] |= 1 << uint(p&63)
+}
+
+func (w *Wheel) clearBit(p int) {
+	w0 := p >> 6
+	w.l0[w0] &^= 1 << uint(p&63)
+	if w.l0[w0] == 0 {
+		w1 := w0 >> 6
+		w.l1[w1] &^= 1 << uint(w0&63)
+		if w.l1[w1] == 0 {
+			w.l2[w1>>6] &^= 1 << uint(w1&63)
+		}
+	}
+}
+
+// maskFrom is the uint64 with every bit at or above `bit` set.
+func maskFrom(bit int) uint64 { return ^uint64(0) << uint(bit) }
+
+// nextSet returns the smallest set physical slot in [from, limit), or
+// -1, descending the hierarchy with TrailingZeros64.
+func (w *Wheel) nextSet(from, limit int) int {
+	if from >= limit {
+		return -1
+	}
+	w0 := from >> 6
+	if m := w.l0[w0] & maskFrom(from&63); m != 0 {
+		if p := w0<<6 + bits.TrailingZeros64(m); p < limit {
+			return p
+		}
+		return -1
+	}
+	w1 := w0 >> 6
+	m1 := w.l1[w1] & maskFrom(w0&63) & ^(uint64(1) << uint(w0&63))
+	if m1 == 0 {
+		w2 := w1 >> 6
+		m2 := w.l2[w2] & maskFrom(w1&63) & ^(uint64(1) << uint(w1&63))
+		for m2 == 0 {
+			w2++
+			if w2 >= len(w.l2) {
+				return -1
+			}
+			m2 = w.l2[w2]
+		}
+		w1 = w2<<6 + bits.TrailingZeros64(m2)
+		m1 = w.l1[w1]
+	}
+	w0 = w1<<6 + bits.TrailingZeros64(m1)
+	p := w0<<6 + bits.TrailingZeros64(w.l0[w0])
+	if p < limit {
+		return p
+	}
+	return -1
+}
+
+// firstOccPhys returns the physical slot of the smallest occupied
+// granule. Ascending granule order wraps at phys(winLo): it is phys
+// [p0, S) then [0, p0). Caller guarantees slotCount > 0.
+func (w *Wheel) firstOccPhys() int {
+	p0 := int(w.winLo & w.mask)
+	if p := w.nextSet(p0, w.slots); p >= 0 {
+		return p
+	}
+	return w.nextSet(0, p0)
+}
+
+func (w *Wheel) firstOccGranule() uint64 { return w.vbAt(w.firstOccPhys()) }
+
+// maskTo is the uint64 with every bit at or below `bit` set.
+func maskTo(bit int) uint64 { return ^uint64(0) >> uint(63-bit) }
+
+// prevSet returns the largest set physical slot in [limit, from], or
+// -1, descending the hierarchy with LeadingZeros64 — nextSet's mirror.
+func (w *Wheel) prevSet(from, limit int) int {
+	if from < limit {
+		return -1
+	}
+	w0 := from >> 6
+	if m := w.l0[w0] & maskTo(from&63); m != 0 {
+		if p := w0<<6 + 63 - bits.LeadingZeros64(m); p >= limit {
+			return p
+		}
+		return -1
+	}
+	w1 := w0 >> 6
+	m1 := w.l1[w1] & maskTo(w0&63) & ^(uint64(1) << uint(w0&63))
+	if m1 == 0 {
+		w2 := w1 >> 6
+		m2 := w.l2[w2] & maskTo(w1&63) & ^(uint64(1) << uint(w1&63))
+		for m2 == 0 {
+			w2--
+			if w2 < 0 {
+				return -1
+			}
+			m2 = w.l2[w2]
+		}
+		w1 = w2<<6 + 63 - bits.LeadingZeros64(m2)
+		m1 = w.l1[w1]
+	}
+	w0 = w1<<6 + 63 - bits.LeadingZeros64(m1)
+	p := w0<<6 + 63 - bits.LeadingZeros64(w.l0[w0])
+	if p >= limit {
+		return p
+	}
+	return -1
+}
+
+// lastOccPhys returns the physical slot of the largest occupied granule.
+// Descending granule order wraps at phys(winLo): it is phys [p0-1 .. 0]
+// then [S-1 .. p0]. Caller guarantees slotCount > 0.
+func (w *Wheel) lastOccPhys() int {
+	p0 := int(w.winLo & w.mask)
+	if p0 > 0 {
+		if p := w.prevSet(p0-1, 0); p >= 0 {
+			return p
+		}
+	}
+	return w.prevSet(w.slots-1, p0)
+}
+
+func (w *Wheel) lastOccGranule() uint64 { return w.vbAt(w.lastOccPhys()) }
+
+// firstOccFrom returns the physical slot of the smallest occupied
+// granule >= g, or -1. The circular virtual range splits into at most
+// two linear bitmap scans around the wrap point phys(winLo).
+func (w *Wheel) firstOccFrom(g uint64) int {
+	if g < w.winLo {
+		g = w.winLo
+	}
+	if g-w.winLo >= uint64(w.slots) {
+		return -1
+	}
+	p0 := int(g & w.mask)
+	wrap := int(w.winLo & w.mask)
+	if p0 >= wrap {
+		if p := w.nextSet(p0, w.slots); p >= 0 {
+			return p
+		}
+		return w.nextSet(0, wrap)
+	}
+	return w.nextSet(p0, wrap)
+}
+
+// --- Queries ---
+
+// minChainAbove folds min(t) over chain nodes with t > now into best.
+func (w *Wheel) minChainAbove(head int32, now, best uint64) uint64 {
+	for at := head; at != none; at = w.nodes[at].next {
+		if t := w.nodes[at].t; t > now && t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// NextWakeAfter returns the exact smallest send_time strictly greater
+// than now among indexed elements, or clock.Never when none exists —
+// the instant the next currently-ineligible element becomes eligible.
+// O(1) plus the chain of now's own granule; overflow regions cost a
+// scan only when their minimum is already eligible.
+func (w *Wheel) NextWakeAfter(now clock.Time) clock.Time {
+	un := uint64(now)
+	best := uint64(clock.Never)
+	if w.low.count > 0 {
+		if w.low.min > un {
+			if w.low.min < best {
+				best = w.low.min
+			}
+		} else {
+			best = w.minChainAbove(w.low.head, un, best)
+		}
+	}
+	if w.slotCount > 0 {
+		switch g := un >> w.shift; {
+		case g < w.winLo:
+			// Every slot resident is at granule >= winLo > g, hence > now.
+			if m := w.slotMin[w.firstOccPhys()]; m < best {
+				best = m
+			}
+		case g-w.winLo < uint64(w.slots):
+			// Boundary granule: mixed eligibility, scan its one chain.
+			if p := int(g & w.mask); w.head[p] != none && w.vbAt(p) == g {
+				best = w.minChainAbove(w.head[p], un, best)
+			}
+			// Strictly-later granules: first occupied slot's exact min.
+			if np := w.firstOccFrom(g + 1); np >= 0 && w.slotMin[np] < best {
+				best = w.slotMin[np]
+			}
+		}
+		// g beyond the window end: every slot resident is <= now.
+	}
+	if w.high.count > 0 {
+		if w.high.min > un {
+			if w.high.min < best {
+				best = w.high.min
+			}
+		} else {
+			best = w.minChainAbove(w.high.head, un, best)
+		}
+	}
+	return clock.Time(best)
+}
+
+// NextWake is NextWakeAfter at the wheel's advanced time.
+func (w *Wheel) NextWake() clock.Time { return w.NextWakeAfter(w.now) }
+
+// MinSendTime returns the exact smallest send_time among indexed
+// elements in O(1); ok is false when the wheel is empty.
+func (w *Wheel) MinSendTime() (clock.Time, bool) {
+	if w.size == 0 {
+		return 0, false
+	}
+	m := uint64(clock.Never)
+	if w.low.count > 0 {
+		m = w.low.min
+	}
+	if w.slotCount > 0 {
+		if sm := w.slotMin[w.firstOccPhys()]; sm < m {
+			m = sm
+		}
+	}
+	if w.high.count > 0 && w.high.min < m {
+		m = w.high.min
+	}
+	return clock.Time(m), true
+}
+
+// --- Invariants ---
+
+// CheckInvariants validates the complete structure: chain link
+// integrity, bitmap hierarchy vs chains, exact slot/region minima and
+// equal-min counts, slot granule membership, and arena conservation.
+func (w *Wheel) CheckInvariants() error {
+	seen := 0
+	for p := 0; p < w.slots; p++ {
+		occupied := w.l0[p>>6]&(1<<uint(p&63)) != 0
+		if occupied != (w.head[p] != none) {
+			return fmt.Errorf("timewheel: slot %d bit %v but head %d", p, occupied, w.head[p])
+		}
+		if !occupied {
+			if w.slotMin[p] != uint64(clock.Never) || w.minN[p] != 0 {
+				return fmt.Errorf("timewheel: empty slot %d has min %d count %d", p, w.slotMin[p], w.minN[p])
+			}
+			continue
+		}
+		g := w.vbAt(p)
+		m, c := uint64(clock.Never), int32(0)
+		prev := none
+		for at := w.head[p]; at != none; at = w.nodes[at].next {
+			n := &w.nodes[at]
+			if n.loc != int32(p) {
+				return fmt.Errorf("timewheel: node %d in slot %d claims loc %d", at, p, n.loc)
+			}
+			if n.prev != prev {
+				return fmt.Errorf("timewheel: slot %d chain prev broken at node %d", p, at)
+			}
+			if n.t>>w.shift != g {
+				return fmt.Errorf("timewheel: node %d (t=%d) in slot %d for granule %d", at, n.t, p, g)
+			}
+			switch {
+			case n.t < m:
+				m, c = n.t, 1
+			case n.t == m:
+				c++
+			}
+			prev = at
+			seen++
+		}
+		if w.slotMin[p] != m || w.minN[p] != c {
+			return fmt.Errorf("timewheel: slot %d summary (%d,%d), chain (%d,%d)", p, w.slotMin[p], w.minN[p], m, c)
+		}
+	}
+	if seen != w.slotCount {
+		return fmt.Errorf("timewheel: slots hold %d nodes, slotCount %d", seen, w.slotCount)
+	}
+	for w0 := range w.l0 {
+		w1 := w0 >> 6
+		if got := w.l1[w1]&(1<<uint(w0&63)) != 0; got != (w.l0[w0] != 0) {
+			return fmt.Errorf("timewheel: l1 bit for word %d = %v, l0 word %#x", w0, got, w.l0[w0])
+		}
+		if got := w.l2[w1>>6]&(1<<uint(w1&63)) != 0; got != (w.l1[w1] != 0) {
+			return fmt.Errorf("timewheel: l2 bit for l1 word %d mismatch", w1)
+		}
+	}
+	for name, r, loc := "low", &w.low, locLow; ; name, r, loc = "high", &w.high, locHigh {
+		m, c, cnt := uint64(clock.Never), 0, 0
+		prev := none
+		for at := r.head; at != none; at = w.nodes[at].next {
+			n := &w.nodes[at]
+			if n.loc != loc {
+				return fmt.Errorf("timewheel: node %d in %s region claims loc %d", at, name, n.loc)
+			}
+			if n.prev != prev {
+				return fmt.Errorf("timewheel: %s chain prev broken at node %d", name, at)
+			}
+			switch {
+			case n.t < m:
+				m, c = n.t, 1
+			case n.t == m:
+				c++
+			}
+			prev = at
+			cnt++
+		}
+		if cnt != r.count {
+			return fmt.Errorf("timewheel: %s chain holds %d nodes, count %d", name, cnt, r.count)
+		}
+		if r.count > 0 && (r.min != m || r.minN != c) {
+			return fmt.Errorf("timewheel: %s summary (%d,%d), chain (%d,%d)", name, r.min, r.minN, m, c)
+		}
+		if name == "high" {
+			break
+		}
+	}
+	if total := w.slotCount + w.low.count + w.high.count; total != w.size {
+		return fmt.Errorf("timewheel: containers hold %d nodes, size %d", total, w.size)
+	}
+	if live := len(w.nodes) - len(w.free); live != w.size {
+		return fmt.Errorf("timewheel: arena holds %d live nodes, size %d", live, w.size)
+	}
+	for _, h := range w.free {
+		if w.nodes[h].loc != locFree {
+			return fmt.Errorf("timewheel: free-list node %d has loc %d", h, w.nodes[h].loc)
+		}
+	}
+	return nil
+}

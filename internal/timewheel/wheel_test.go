@@ -1,0 +1,317 @@
+package timewheel
+
+import (
+	"math/rand"
+	"testing"
+
+	"pieo/internal/clock"
+)
+
+// check runs CheckInvariants and fails the test on error.
+func check(t *testing.T, w *Wheel) {
+	t.Helper()
+	if err := w.CheckInvariants(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// oracleNextAfter is the reference NextWakeAfter: exact min t > now.
+func oracleNextAfter(res map[int32]clock.Time, now clock.Time) clock.Time {
+	best := clock.Never
+	for _, t := range res {
+		if t > now && t < best {
+			best = t
+		}
+	}
+	return best
+}
+
+// oracleMin is the reference MinSendTime.
+func oracleMin(res map[int32]clock.Time) (clock.Time, bool) {
+	if len(res) == 0 {
+		return 0, false
+	}
+	m := clock.Never
+	for _, t := range res {
+		if t < m {
+			m = t
+		}
+	}
+	return m, true
+}
+
+// verify compares every wheel query against the oracle.
+func verify(t *testing.T, w *Wheel, res map[int32]clock.Time, nows []clock.Time) {
+	t.Helper()
+	check(t, w)
+	if w.Len() != len(res) {
+		t.Fatalf("Len = %d, oracle %d", w.Len(), len(res))
+	}
+	gotM, gotOK := w.MinSendTime()
+	wantM, wantOK := oracleMin(res)
+	if gotM != wantM || gotOK != wantOK {
+		t.Fatalf("MinSendTime = (%d,%v), oracle (%d,%v)", gotM, gotOK, wantM, wantOK)
+	}
+	for _, now := range nows {
+		if got, want := w.NextWakeAfter(now), oracleNextAfter(res, now); got != want {
+			t.Fatalf("NextWakeAfter(%d) = %d, oracle %d", now, got, want)
+		}
+	}
+	for h, tm := range res {
+		if got := w.TimeOf(h); got != tm {
+			t.Fatalf("TimeOf(%d) = %d, inserted %d", h, got, tm)
+		}
+	}
+}
+
+func TestWheelBasic(t *testing.T) {
+	w := New(Config{SlotShift: 4, Slots: 64, Hint: 16})
+	res := map[int32]clock.Time{}
+	for _, tm := range []clock.Time{100, 50, 50, 200, 3} {
+		res[w.Insert(tm)] = tm
+	}
+	verify(t, w, res, []clock.Time{0, 2, 3, 49, 50, 99, 100, 199, 200, 1000})
+
+	// Remove one of the two equal 50s: the other must keep the summary.
+	for h, tm := range res {
+		if tm == 50 {
+			w.Remove(h)
+			delete(res, h)
+			break
+		}
+	}
+	verify(t, w, res, []clock.Time{0, 3, 49, 50, 100, 200})
+
+	// Drain.
+	for h := range res {
+		w.Remove(h)
+		delete(res, h)
+	}
+	verify(t, w, res, []clock.Time{0, 100})
+	if got := w.NextWakeAfter(0); got != clock.Never {
+		t.Fatalf("empty NextWakeAfter = %d, want Never", got)
+	}
+}
+
+func TestWheelAlwaysPile(t *testing.T) {
+	// A pile of clock.Always elements: equal-min counts mean removals
+	// never rescan, and no wake is ever reported for them.
+	w := New(Config{Hint: 64})
+	var hs []int32
+	for i := 0; i < 64; i++ {
+		hs = append(hs, w.Insert(clock.Always))
+	}
+	check(t, w)
+	if got := w.NextWakeAfter(0); got != clock.Never {
+		t.Fatalf("NextWakeAfter over Always pile = %d, want Never", got)
+	}
+	if m, ok := w.MinSendTime(); !ok || m != clock.Always {
+		t.Fatalf("MinSendTime = (%d,%v), want (Always,true)", m, ok)
+	}
+	for _, h := range hs {
+		w.Remove(h)
+	}
+	check(t, w)
+}
+
+func TestWheelWindowSlide(t *testing.T) {
+	// Monotonically advancing send_times must keep landing in slots
+	// (the window slides forward as earlier granules drain), exercising
+	// the circular mapping across many window generations.
+	w := New(Config{SlotShift: 4, Slots: 64, Hint: 8})
+	res := map[int32]clock.Time{}
+	tm := clock.Time(0)
+	for round := 0; round < 200; round++ {
+		for i := 0; i < 4; i++ {
+			tm += 97
+			res[w.Insert(tm)] = tm
+		}
+		// Remove the four oldest: occupancy (and the resident time span)
+		// stays bounded well inside the 64*16-tick window.
+		for n := 0; n < 4; n++ {
+			var oh int32
+			ot := clock.Never
+			for h, ht := range res {
+				if ht < ot {
+					oh, ot = h, ht
+				}
+			}
+			w.Remove(oh)
+			delete(res, oh)
+		}
+		verify(t, w, res, []clock.Time{tm - 500, tm - 97, tm, tm + 1})
+	}
+	if w.low.count != 0 || w.high.count != 0 {
+		t.Fatalf("forward-moving workload overflowed: low %d high %d", w.low.count, w.high.count)
+	}
+}
+
+func TestWheelOverflowRegions(t *testing.T) {
+	w := New(Config{SlotShift: 4, Slots: 64, Hint: 8})
+	res := map[int32]clock.Time{}
+	// Anchor the window high, then force low and high overflow.
+	anchor := clock.Time(1 << 20)
+	res[w.Insert(anchor)] = anchor
+	for _, tm := range []clock.Time{0, 5, 1 << 30, clock.Never - 1, clock.Never} {
+		res[w.Insert(tm)] = tm
+	}
+	verify(t, w, res, []clock.Time{0, 4, 5, anchor - 1, anchor, 1 << 30, clock.Never - 2, clock.Never - 1, clock.Never})
+	// Remove the overflow minima one by one; summaries must stay exact.
+	for _, victim := range []clock.Time{0, 1 << 30, 5} {
+		for h, ht := range res {
+			if ht == victim {
+				w.Remove(h)
+				delete(res, h)
+				break
+			}
+		}
+		verify(t, w, res, []clock.Time{0, 5, anchor, 1 << 30, clock.Never - 1, clock.Never})
+	}
+}
+
+func TestWheelNeverSentinel(t *testing.T) {
+	// clock.Never residents must never produce a wake and must not
+	// disturb exactness near the top of the time domain.
+	w := New(Config{Hint: 4})
+	hn := w.Insert(clock.Never)
+	check(t, w)
+	if got := w.NextWakeAfter(0); got != clock.Never {
+		t.Fatalf("NextWakeAfter with only Never = %d, want Never", got)
+	}
+	if m, ok := w.MinSendTime(); !ok || m != clock.Never {
+		t.Fatalf("MinSendTime = (%d,%v), want (Never,true)", m, ok)
+	}
+	h1 := w.Insert(clock.Never - 1)
+	if got := w.NextWakeAfter(clock.Never - 2); got != clock.Never-1 {
+		t.Fatalf("NextWakeAfter(Never-2) = %d, want Never-1", got)
+	}
+	if got := w.NextWakeAfter(clock.Never - 1); got != clock.Never {
+		t.Fatalf("NextWakeAfter(Never-1) = %d, want Never", got)
+	}
+	if got := w.NextWakeAfter(clock.Never); got != clock.Never {
+		t.Fatalf("NextWakeAfter(Never) = %d, want Never", got)
+	}
+	w.Remove(h1)
+	w.Remove(hn)
+	check(t, w)
+}
+
+func TestWheelAdvanceNearNever(t *testing.T) {
+	// Driving the wheel clock to the top of the time domain must not
+	// overflow the granule arithmetic: queries stay exact with now at
+	// Never-k and residents straddling the sentinel.
+	w := New(Config{SlotShift: 4, Slots: 64, Hint: 4})
+	res := map[int32]clock.Time{}
+	for _, tm := range []clock.Time{100, clock.Never - 3, clock.Never} {
+		res[w.Insert(tm)] = tm
+	}
+	w.Advance(clock.Never - 4)
+	if got := w.NextWake(); got != clock.Never-3 {
+		t.Fatalf("NextWake at Never-4 = %d, want Never-3", got)
+	}
+	w.Advance(clock.Never - 3)
+	if got := w.NextWake(); got != clock.Never {
+		t.Fatalf("NextWake at Never-3 = %d, want Never (only sentinel residents remain ahead)", got)
+	}
+	w.Advance(clock.Never)
+	if got := w.NextWake(); got != clock.Never {
+		t.Fatalf("NextWake at Never = %d, want Never", got)
+	}
+	verify(t, w, res, []clock.Time{0, 99, 100, clock.Never - 4, clock.Never - 3, clock.Never})
+	if m, ok := w.MinSendTime(); !ok || m != 100 {
+		t.Fatalf("MinSendTime = (%d,%v), want (100,true) — advancing now must not drop residents", m, ok)
+	}
+}
+
+func TestWheelUpdate(t *testing.T) {
+	w := New(Config{SlotShift: 4, Slots: 64, Hint: 8})
+	res := map[int32]clock.Time{}
+	for _, tm := range []clock.Time{10, 20, 30} {
+		res[w.Insert(tm)] = tm
+	}
+	for h := range res {
+		nt := res[h] * 1000
+		w.Update(h, nt)
+		res[h] = nt
+		verify(t, w, res, []clock.Time{0, 9, 10, 10000, 20000, 30000})
+	}
+	// Update back down below the window.
+	for h := range res {
+		w.Update(h, 1)
+		res[h] = 1
+		break
+	}
+	verify(t, w, res, []clock.Time{0, 1, 2, 30000})
+}
+
+func TestWheelAdvanceAndNextWake(t *testing.T) {
+	w := New(Config{SlotShift: 4, Slots: 64})
+	w.Insert(100)
+	w.Insert(200)
+	w.Advance(150)
+	if w.Now() != 150 {
+		t.Fatalf("Now = %d", w.Now())
+	}
+	if got := w.NextWake(); got != 200 {
+		t.Fatalf("NextWake at 150 = %d, want 200", got)
+	}
+	w.Advance(40) // backwards: ignored
+	if w.Now() != 150 {
+		t.Fatalf("Now after backwards Advance = %d", w.Now())
+	}
+}
+
+func TestWheelRandomized(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	w := New(Config{SlotShift: 3, Slots: 128, Hint: 32})
+	res := map[int32]clock.Time{}
+	var handles []int32
+	for op := 0; op < 5000; op++ {
+		switch r := rng.Intn(10); {
+		case r < 5 || len(handles) == 0:
+			var tm clock.Time
+			switch rng.Intn(4) {
+			case 0:
+				tm = clock.Time(rng.Intn(1 << 12))
+			case 1:
+				tm = clock.Time(rng.Int63())
+			case 2:
+				tm = clock.Always
+			default:
+				tm = clock.Never - clock.Time(rng.Intn(4))
+			}
+			h := w.Insert(tm)
+			res[h] = tm
+			handles = append(handles, h)
+		case r < 8:
+			i := rng.Intn(len(handles))
+			h := handles[i]
+			w.Remove(h)
+			delete(res, h)
+			handles[i] = handles[len(handles)-1]
+			handles = handles[:len(handles)-1]
+		default:
+			i := rng.Intn(len(handles))
+			h := handles[i]
+			nt := clock.Time(rng.Int63n(1 << 14))
+			w.Update(h, nt)
+			res[h] = nt
+		}
+		if op%50 == 0 {
+			verify(t, w, res, []clock.Time{0, 7, 8, 100, 1 << 12, 1 << 40, clock.Never - 2, clock.Never})
+		}
+	}
+}
+
+func TestWheelAllocFree(t *testing.T) {
+	// Steady-state insert/remove must recycle arena nodes, not grow.
+	w := New(Config{Hint: 4})
+	h := w.Insert(1)
+	for i := 0; i < 1000; i++ {
+		w.Remove(h)
+		h = w.Insert(clock.Time(i))
+	}
+	if got := len(w.nodes); got > 4 {
+		t.Fatalf("arena grew to %d nodes under steady state", got)
+	}
+}

@@ -112,6 +112,11 @@ type (
 	RankRanger       = backend.RankRanger
 	InvariantChecker = backend.InvariantChecker
 	HardwareModeled  = backend.HardwareModeled
+	// EligIndexed is the timing-wheel eligibility-index capability: an
+	// exact O(1) "when does the next ineligible element become eligible"
+	// answer (internal/timewheel), with a switch to drop the index for
+	// baseline measurements.
+	EligIndexed = backend.EligIndexed
 	// Batcher is the batch-operation capability: EnqueueBatch/DequeueUpTo
 	// with exact sequential semantics but amortized per-op overhead.
 	Batcher = backend.Batcher

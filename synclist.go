@@ -150,6 +150,45 @@ func (s *SyncList) Faults() (uint64, error) {
 	return s.faults, s.lastErr
 }
 
+// NextWakeAfter implements backend.EligIndexed: delegated to the wrapped
+// backend's index when it has one, answered exactly by a snapshot scan
+// otherwise (the capability's contract is exactness, not speed).
+func (s *SyncList) NextWakeAfter(now Time) Time {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ix, ok := s.b.(backend.EligIndexed); ok {
+		return ix.NextWakeAfter(now)
+	}
+	best := clock.Never
+	for _, ent := range s.b.Snapshot() {
+		if ent.SendTime > now && ent.SendTime < best {
+			best = ent.SendTime
+		}
+	}
+	return best
+}
+
+// EligIndexActive implements backend.EligIndexed, reporting false when
+// the wrapped backend carries no timing-wheel index.
+func (s *SyncList) EligIndexActive() bool {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if ix, ok := s.b.(backend.EligIndexed); ok {
+		return ix.EligIndexActive()
+	}
+	return false
+}
+
+// DisableEligIndex implements backend.EligIndexed; a no-op without an
+// index underneath.
+func (s *SyncList) DisableEligIndex() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if ix, ok := s.b.(backend.EligIndexed); ok {
+		ix.DisableEligIndex()
+	}
+}
+
 // PeekMax implements backend.Evictor when the wrapped backend does,
 // reporting ok=false otherwise so push-out degrades to tail-drop.
 func (s *SyncList) PeekMax() (Entry, bool) {
@@ -226,6 +265,7 @@ func (s *SyncList) CheckInvariants() error {
 }
 
 var (
-	_ backend.Backend = (*SyncList)(nil)
-	_ backend.Batcher = (*SyncList)(nil)
+	_ backend.Backend     = (*SyncList)(nil)
+	_ backend.Batcher     = (*SyncList)(nil)
+	_ backend.EligIndexed = (*SyncList)(nil)
 )
