@@ -152,6 +152,12 @@ type FaultStats struct {
 	// fault handling — the scheduler's declared drops, disjoint from
 	// per-flow-queue tail drops.
 	DroppedPackets uint64
+	// AdmissionSheds counts arrivals dropped at the door by the graduated
+	// overload controller's shed level, before touching the ordered list.
+	AdmissionSheds uint64
+	// DeadlineExpiries counts deadline-wrapped blocking operations that
+	// returned core.ErrDeadline instead of spinning out their budget.
+	DeadlineExpiries uint64
 }
 
 // Add accumulates other into s, for aggregating per-level counters.
@@ -164,4 +170,6 @@ func (s *FaultStats) Add(other FaultStats) {
 	s.AdmissionTailDrops += other.AdmissionTailDrops
 	s.AdmissionEvictions += other.AdmissionEvictions
 	s.DroppedPackets += other.DroppedPackets
+	s.AdmissionSheds += other.AdmissionSheds
+	s.DeadlineExpiries += other.DeadlineExpiries
 }

@@ -103,6 +103,7 @@ var registry = map[string]Runner{
 	"combining":        Combining,
 	"cffs":             CFFS,
 	"qdev":             QuantDeviation,
+	"recovery":         Recovery,
 }
 
 // IDs returns the registered experiment ids, sorted.

@@ -194,14 +194,24 @@ func (inj *Injector) ShardHook() func(shard int, op string) {
 	}
 }
 
-// Backend wraps a backend.Backend with the injector's fault schedule.
-// Mutations pass through step (latency + panics); enqueues additionally
-// face the error and squeeze schedules BEFORE reaching the inner backend,
-// so every injected enqueue failure corresponds to an arrival that never
-// entered the list — recorded as a declared drop.
+// faultSource is the schedule evaluation surface the Backend wrapper
+// drives: a plain Injector (always-on schedule) or a Storm (scheduled
+// time windows) both satisfy it.
+type faultSource interface {
+	step(op string) uint64
+	errNow(n uint64) bool
+	squeezeNow() bool
+}
+
+// Backend wraps a backend.Backend with a fault schedule (an Injector, or
+// a Storm's scheduled windows via WrapStorm). Mutations pass through
+// step (latency + panics); enqueues additionally face the error and
+// squeeze schedules BEFORE reaching the inner backend, so every injected
+// enqueue failure corresponds to an arrival that never entered the list
+// — recorded as a declared drop.
 type Backend struct {
 	inner backend.Backend
-	inj   *Injector
+	inj   faultSource
 
 	mu      sync.Mutex
 	dropped []uint32 // IDs of arrivals shed by injected enqueue faults

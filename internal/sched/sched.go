@@ -21,6 +21,7 @@ import (
 	"pieo/internal/clock"
 	"pieo/internal/core"
 	"pieo/internal/flowq"
+	"pieo/internal/supervise"
 )
 
 // TriggerModel selects when the pre-enqueue function runs (§3.2.1).
@@ -168,6 +169,23 @@ type Scheduler struct {
 	// configurations clear it, and every such condition is then counted
 	// in FaultStats, shed as declared drops, and never panics.
 	Strict bool
+
+	// Overload, when set, is the graduated overload controller
+	// (supervise.Controller): each non-strict flow admission evaluates
+	// the list occupancy against its watermark ladder and runs under the
+	// level's admission policy — admit-all → tail-drop → rank-aware
+	// push-out → shed — instead of the static Admission field. At the
+	// shed level arrivals are dropped at the door (counted in
+	// FaultStats.AdmissionSheds) without touching the list.
+	Overload *supervise.Controller
+
+	// Clock and DequeueBudget bound NextPacket's extract-retry loop by
+	// time instead of the raw spin guard: when both are set, a dequeue
+	// episode that exceeds DequeueBudget ticks on Clock returns no packet
+	// with core.ErrDeadline recorded (FaultStats.DeadlineExpiries) — the
+	// graceful alternative to spinning until the guard counter trips.
+	Clock         clock.Source
+	DequeueBudget clock.Time
 
 	flows   map[flowq.FlowID]*Flow
 	pending []flowq.Packet // burst left over from a multi-packet PostDequeue
@@ -408,8 +426,21 @@ func (s *Scheduler) NextPacket(now clock.Time) (flowq.Packet, bool) {
 	// extracting until a packet emerges. Progress is guaranteed by the
 	// program (DRR's deficit grows each visit), but a hard cap turns a
 	// misbehaving program into a diagnosable panic instead of a hang.
+	// When a clock and budget are configured, the whole extract-retry
+	// episode runs under a deadline: expiry surfaces as core.ErrDeadline
+	// and an idle link instead of spinning the guard counter out.
+	var deadline clock.Time
+	if s.Clock != nil && s.DequeueBudget > 0 {
+		deadline = supervise.Deadline(s.Clock, s.DequeueBudget)
+	}
 	retriedIdle := false
 	for spins := 0; ; spins++ {
+		if deadline != 0 && spins > 0 && supervise.Expired(s.Clock, deadline) {
+			s.faults.DeadlineExpiries++
+			s.fault(fmt.Errorf("sched: program %q: %w after %v budget (%d dequeues)",
+				s.Prog.Name, core.ErrDeadline, s.DequeueBudget, spins))
+			return flowq.Packet{}, false
+		}
 		if spins > 1<<22 {
 			if s.Strict {
 				panic(fmt.Sprintf("sched: program %q made no progress after %d dequeues", s.Prog.Name, spins))
@@ -486,6 +517,20 @@ func (s *Scheduler) DefaultPostDequeue(now clock.Time, f *Flow) []flowq.Packet {
 // packet's precomputed attributes. Blocked flows (§4.4) and flows already
 // in the list are left alone.
 //
+// outranksWorst reports whether ent strictly outranks the worst resident
+// of the ordered list — the shed level's premium carve-out. A read-only
+// PeekMax costs far less than the insert the door-drop avoids, and a
+// backend without eviction support reports false (nothing outranks, so
+// shed stays unconditional — the conservative direction).
+func (s *Scheduler) outranksWorst(ent core.Entry) bool {
+	ev, ok := s.List.(backend.Evictor)
+	if !ok {
+		return false
+	}
+	worst, ok := ev.PeekMax()
+	return ok && ent.Rank < worst.Rank
+}
+
 // In strict mode an insert failure panics (the historical contract). In
 // non-strict mode a full list is resolved by the Admission policy — the
 // rejected party's backlog (the arriving flow's, or under push-out the
@@ -493,6 +538,7 @@ func (s *Scheduler) DefaultPostDequeue(now clock.Time, f *Flow) []flowq.Packet {
 // counted in FaultStats with the arriving flow's backlog shed, so a flow
 // never silently stalls outside the list.
 func (s *Scheduler) EnqueueFlow(now clock.Time, f *Flow) {
+	newly := f.NewlyBacklogged // prepareEntry clears it; the shed gate needs it
 	ent, ok := s.prepareEntry(now, f)
 	if !ok {
 		return
@@ -503,7 +549,32 @@ func (s *Scheduler) EnqueueFlow(now clock.Time, f *Flow) {
 		}
 		return
 	}
-	out, err := backend.Admit(s.List, s.Admission, ent)
+	pol := s.Admission
+	if s.Overload != nil {
+		// Graduated overload control: the controller steps the admission
+		// policy through its watermark ladder on the observed occupancy.
+		// Its hysteresis guarantees the level is stable at any constant
+		// occupancy, so policy cannot flap between consecutive arrivals.
+		lvl := s.Overload.Evaluate(s.List.Len())
+		if lvl == supervise.LevelShed && newly && !s.outranksWorst(ent) {
+			// Critical occupancy: drop NEW admissions at the door unless the
+			// arrival outranks the worst resident. Two carve-outs keep the
+			// last level from inverting the priority order it exists to
+			// protect: re-enqueues from the dequeue path carry
+			// already-admitted backlog (shedding those would punish exactly
+			// the flows being served most — the best-ranked ones, which
+			// cycle through dequeue/re-enqueue fastest), and an outranking
+			// arrival is premium work the rank-aware policy would admit
+			// anyway. Both compete under push-out; everything else is
+			// dropped before it touches the list.
+			s.Overload.NoteShed()
+			s.faults.AdmissionSheds++
+			s.flushFlow(f)
+			return
+		}
+		pol = lvl.Policy()
+	}
+	out, err := backend.Admit(s.List, pol, ent)
 	switch {
 	case err == nil:
 		if out.DidEvict {

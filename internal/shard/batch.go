@@ -1,10 +1,33 @@
 package shard
 
 import (
+	"errors"
+	"fmt"
+	"sort"
+
 	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/core"
 )
+
+// BatchItemError attributes one failed batch entry: its batch position,
+// its flow ID, and the typed underlying error (core.ErrDuplicate,
+// core.ErrShardDown, core.ErrFull). EnqueueBatch returns an errors.Join
+// of these — one per failed entry, in batch order — whenever a mid-batch
+// quarantine rerouted entries through the degraded path, so no rerouted
+// entry's failure is ever silently folded into a single first-error.
+// errors.Is sees through both the join and the wrapper.
+type BatchItemError struct {
+	Index int
+	ID    uint32
+	Err   error
+}
+
+func (b *BatchItemError) Error() string {
+	return fmt.Sprintf("batch entry %d (id %d): %v", b.Index, b.ID, b.Err)
+}
+
+func (b *BatchItemError) Unwrap() error { return b.Err }
 
 // The engine implements the optional batch capability natively: batching
 // is where sharding pays twice, amortizing both the lock traffic (one
@@ -18,7 +41,11 @@ var _ backend.Batcher = (*Engine)(nil)
 // every entry is attempted, the return is the accepted count plus the
 // first error in batch order, and quiescent dequeue order — including
 // cross-shard FIFO ties — is identical, because entries draw consecutive
-// global sequence numbers in batch position order.
+// global sequence numbers in batch position order. The one exception to
+// the first-error shape: when a shard quarantines mid-batch and entries
+// reroute through the degraded path, the error is an errors.Join of one
+// BatchItemError per failed entry (batch order), so every rerouted
+// entry's outcome is attributable.
 //
 // The fast path reserves capacity for the whole batch with one atomic
 // add and takes each touched shard's lock once, enqueueing all of that
@@ -66,7 +93,8 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 	slotsKept := 0 // entries that keep their batch-reserved capacity slot
 	var firstErr error
 	firstErrIdx := m
-	var fallback []int // entries rerouted per-entry after a mid-batch quarantine
+	var fallback []int            // entries rerouted per-entry after a mid-batch quarantine
+	var itemErrs []*BatchItemError // per-item failures, surfaced jointly when a reroute happened
 	for si, sd := range e.shards {
 		locked := false
 		failed := false
@@ -92,8 +120,15 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 				}
 				locked = true
 			}
-			var lerr error
+			var (
+				started bool
+				lerr    error
+			)
 			perr := e.protect(si, sd, OpEnqueue, func(l backend.ShardBackend) {
+				// Pre-count the residency so a mid-insert panic charges the
+				// ambiguous element to this shard; quarantine reconciles the
+				// count against the salvage (see Enqueue).
+				started = true
 				sd.resident++
 				lerr = l.EnqueueSeq(es[i], base+1+uint64(i))
 				if lerr != nil {
@@ -107,11 +142,18 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 				failed = true
 				if e.salvageHas(sd, es[i].ID) {
 					// Queued (the salvage holds it): keeps its batch slot.
-					// A pre-counted insert that never landed reconciles
-					// through the quarantine's declared-loss accounting.
 					accepted++
 					slotsKept++
 				} else {
+					if started {
+						// Pre-counted but never landed: quarantine charged
+						// it as a lost entry, yet its fate belongs to the
+						// reroute below (which reserves its own slot) and
+						// the batch-slot ledger (which releases this one).
+						// Unwind the phantom loss or the slot is released
+						// twice and the loss ledger overcounts.
+						e.undoPhantomLoss(si)
+					}
 					fallback = append(fallback, i)
 				}
 				continue
@@ -121,6 +163,7 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 					firstErrIdx = i
 					firstErr = lerr
 				}
+				itemErrs = append(itemErrs, &BatchItemError{Index: i, ID: es[i].ID, Err: lerr})
 				continue
 			}
 			accepted++
@@ -140,22 +183,43 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 			sd.mu.Unlock()
 		}
 	}
-	// Rerouted entries reserve their own slots inside Enqueue, so they are
-	// excluded from the batch-slot ledger regardless of outcome.
+	// Release the unused batch slots BEFORE rerouting: rerouted entries
+	// reserve their own slots inside Enqueue, and reserving on top of a
+	// still-held whole-batch reservation could overshoot capacity and
+	// fail an entry that logically owns a slot with a spurious ErrFull.
+	if slotsKept < m {
+		e.size.Add(int64(slotsKept - m))
+	}
 	for _, i := range fallback {
 		if err := e.Enqueue(es[i]); err != nil {
 			if i < firstErrIdx {
 				firstErrIdx = i
 				firstErr = err
 			}
+			itemErrs = append(itemErrs, &BatchItemError{Index: i, ID: es[i].ID, Err: err})
 			continue
 		}
 		accepted++
 	}
-	if slotsKept < m {
-		e.size.Add(int64(slotsKept - m))
+	if len(fallback) == 0 {
+		// No mid-batch quarantine: the historical contract — accepted
+		// count plus the first error in batch order, returned by identity
+		// (callers compare against the core sentinels directly).
+		return accepted, firstErr
 	}
-	return accepted, firstErr
+	if len(itemErrs) == 0 {
+		return accepted, nil
+	}
+	// A quarantine rerouted entries mid-batch: surface EVERY failed entry
+	// as a typed per-item error so none of the rerouted outcomes is a
+	// silent drop — the only permitted untracked losses are the ones the
+	// quarantine's declared-loss accounting records.
+	sort.Slice(itemErrs, func(a, b int) bool { return itemErrs[a].Index < itemErrs[b].Index })
+	joined := make([]error, len(itemErrs))
+	for k, ie := range itemErrs {
+		joined[k] = ie
+	}
+	return accepted, errors.Join(joined...)
 }
 
 // DequeueUpTo implements backend.Batcher: up to k eligible elements in

@@ -202,9 +202,10 @@ func (e *Engine) execOpLocked(i int, sd *shard, op uint32, ent core.Entry, seq u
 			default:
 				if started {
 					// The insert never landed but was pre-counted as
-					// resident, so the quarantine charged its reservation
-					// as lost; restore it for the caller's re-route.
-					e.size.Add(1)
+					// resident, so the quarantine charged it as a lost
+					// entry; unwind the phantom loss (size, counter, event
+					// record) for the caller's re-route.
+					e.undoPhantomLoss(i)
 				}
 				return resRetry, core.Entry{}
 			}

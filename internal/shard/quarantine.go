@@ -1,4 +1,5 @@
-// Shard fault isolation: the quarantine/salvage/rebuild state machine.
+// Shard fault isolation: the quarantine/salvage/rebuild state machine,
+// supervised by a per-shard circuit breaker.
 //
 // A panic inside one shard's core.List — induced by the fault-injection
 // hook, or genuine structural corruption (the engine itself panics on
@@ -19,13 +20,25 @@
 //     healthy shard (those entries are tracked as "off-home" so point
 //     lookups know to widen), point lookups treat salvaged IDs as
 //     present-but-unavailable.
-//  3. Rebuild. After a backoff measured in engine operations (doubling
-//     per failed attempt, bounded), the salvage is replayed with its
-//     original FIFO sequence numbers into a fresh list, validated, and
-//     installed; the shard rejoins and traffic rehashes back naturally
-//     as off-home entries drain. After maxRebuildAttempts failures the
-//     salvage itself is declared lost and the shard rejoins empty —
-//     bounded unavailability is the contract, not infinite retry.
+//  3. Rebuild, breaker-gated. Each shard carries a supervise.Breaker
+//     (DESIGN.md §12): a quarantine trips it Open and schedules the
+//     first rebuild probe after an exponentially-backed-off,
+//     deterministically-jittered delay on the engine's supervision
+//     clock (an injected clock.Source, or the degraded-mode op count by
+//     default — identical to the historical op-count backoff). When the
+//     probe is due the salvage is replayed with its original FIFO
+//     sequence numbers into a fresh list, validated, and installed; a
+//     failed replay grows the backoff. After MaxRebuildAttempts
+//     failures the salvage itself is declared lost and the shard
+//     rejoins empty — bounded unavailability is the contract, not
+//     infinite retry.
+//  4. Probation. A rebuilt shard rejoins HALF-OPEN: it carries real
+//     traffic immediately, but the breaker only closes — resetting the
+//     failure streak and recording the outage episode's MTTR — after a
+//     bounded probe budget of successful protected operations. A panic
+//     during probation re-trips the breaker with the streak preserved,
+//     so a flapping shard backs off harder each round instead of
+//     oscillating.
 //
 // Everything here assumes the engine's locking discipline: per-shard
 // state is guarded by shard.mu, cross-shard state by atomics, and no two
@@ -39,10 +52,12 @@ import (
 	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/core"
+	"pieo/internal/supervise"
 )
 
 // Operation labels passed to the fault hook, identifying which datapath a
-// protected section is about to run.
+// protected section is about to run. OpRecover labels breaker-close
+// events in the fault log (it is never passed to the hook).
 const (
 	OpEnqueue     = "enqueue"
 	OpPeek        = "peek"
@@ -50,21 +65,11 @@ const (
 	OpDequeueFlow = "dequeue_flow"
 	OpUpdateRank  = "update_rank"
 	OpRebuild     = "rebuild"
+	OpRecover     = "recover"
 )
 
-const (
-	// rebuildBackoffOps is the base rebuild delay, in engine operations —
-	// op-count clocks keep the state machine deterministic under test
-	// (wall clocks would make chaos runs unreproducible).
-	rebuildBackoffOps = 64
-	// rebuildBackoffMax caps the exponential per-attempt growth.
-	rebuildBackoffMax = 4096
-	// maxRebuildAttempts bounds how long a salvage is held before it is
-	// declared lost and the shard rejoins empty.
-	maxRebuildAttempts = 8
-	// maxFaultEvents bounds the diagnostic event log.
-	maxFaultEvents = 1024
-)
+// maxFaultEvents bounds the diagnostic event log.
+const maxFaultEvents = 1024
 
 // faultCounters is the engine's resilience counter block.
 type faultCounters struct {
@@ -72,6 +77,9 @@ type faultCounters struct {
 	rebuilds        atomic.Uint64
 	rebuildFailures atomic.Uint64
 	lostEntries     atomic.Uint64
+	recoveries      atomic.Uint64
+	mttrTotal       atomic.Uint64
+	mttrMax         atomic.Uint64
 }
 
 // FaultStats is a point-in-time snapshot of the engine's fault-handling
@@ -84,10 +92,20 @@ type FaultStats struct {
 	// RebuildFailures counts rebuild attempts that failed and backed off.
 	RebuildFailures uint64
 	// LostEntries counts elements declared lost: unrecoverable at salvage
-	// time, or abandoned with a salvage after maxRebuildAttempts.
+	// time, or abandoned with a salvage after MaxRebuildAttempts.
 	LostEntries uint64
-	// DownShards is the number of currently quarantined shards.
-	DownShards int
+	// Recoveries counts breaker-close events: outage episodes that ended
+	// in full re-admission (the half-open probe budget exhausted).
+	Recoveries uint64
+	// MTTRTotal and MTTRMax aggregate per-episode downtime — from the
+	// first trip of an episode to its breaker close — in supervision
+	// clock ticks. MTTRTotal/Recoveries is the mean MTTR.
+	MTTRTotal clock.Time
+	MTTRMax   clock.Time
+	// DownShards is the number of currently quarantined (breaker-Open)
+	// shards; HalfOpenShards counts shards serving probation traffic.
+	DownShards     int
+	HalfOpenShards int
 	// OffHomeEntries is the number of resident elements currently living
 	// away from their hash-home shard (rehashed around a quarantine).
 	OffHomeEntries int64
@@ -100,16 +118,23 @@ func (e *Engine) FaultStats() FaultStats {
 		Rebuilds:        e.fstats.rebuilds.Load(),
 		RebuildFailures: e.fstats.rebuildFailures.Load(),
 		LostEntries:     e.fstats.lostEntries.Load(),
+		Recoveries:      e.fstats.recoveries.Load(),
+		MTTRTotal:       clock.Time(e.fstats.mttrTotal.Load()),
+		MTTRMax:         clock.Time(e.fstats.mttrMax.Load()),
 		DownShards:      int(e.downShards.Load()),
+		HalfOpenShards:  int(e.probation.Load()),
 		OffHomeEntries:  e.offHome.Load(),
 	}
 }
 
-// FaultEvent is one entry in the engine's diagnostic fault log.
+// FaultEvent is one entry in the engine's diagnostic fault log. Events
+// are stamped with the supervision clock, and recovery events carry the
+// episode's downtime, so MTTR is computable from the log alone.
 type FaultEvent struct {
 	// Shard is the affected shard index.
 	Shard int
-	// Op labels the datapath that was running (Op* constants).
+	// Op labels the datapath that was running (Op* constants); OpRecover
+	// marks a breaker close.
 	Op string
 	// Err is the panic value or rebuild error, stringified.
 	Err string
@@ -118,6 +143,13 @@ type FaultEvent struct {
 	Salvaged int
 	// Lost is how many entries were declared lost by this event.
 	Lost int
+	// At is the supervision-clock instant the event was recorded
+	// (injection instants for quarantines, recovery instants for
+	// OpRebuild/OpRecover events).
+	At clock.Time
+	// Downtime is the outage episode's duration — breaker close minus
+	// first trip — on OpRecover events; zero otherwise.
+	Downtime clock.Time
 }
 
 // FaultEvents returns a copy of the fault log (bounded at maxFaultEvents).
@@ -127,6 +159,24 @@ func (e *Engine) FaultEvents() []FaultEvent {
 	out := make([]FaultEvent, len(e.events))
 	copy(out, e.events)
 	return out
+}
+
+// MTTR summarizes the recovery events in a fault log: how many outage
+// episodes closed, and their total and maximum downtime. Together with
+// FaultEvent.At this makes MTTR computable from the event log alone,
+// with no live engine required.
+func MTTR(events []FaultEvent) (recoveries int, total, max clock.Time) {
+	for _, ev := range events {
+		if ev.Op != OpRecover {
+			continue
+		}
+		recoveries++
+		total += ev.Downtime
+		if ev.Downtime > max {
+			max = ev.Downtime
+		}
+	}
+	return recoveries, total, max
 }
 
 func (e *Engine) recordEvent(ev FaultEvent) {
@@ -144,11 +194,43 @@ func (e *Engine) recordEvent(ev FaultEvent) {
 // carries traffic; it is read without synchronization afterwards.
 func (e *Engine) SetFaultHook(h func(shard int, op string)) { e.hook = h }
 
+// SetClock installs the supervision time source the circuit breakers
+// schedule rebuild probes against. When no clock is installed the
+// engine derives one from its degraded-mode operation count, which
+// reproduces the historical op-count backoff exactly (deterministic
+// under single-threaded test drivers). Like SetFaultHook it MUST be
+// called before the engine carries traffic; it is read without
+// synchronization afterwards. Rebuild probes are evaluated on engine
+// operations either way — an idle engine retries its shards on the
+// next operation after the backoff expires.
+func (e *Engine) SetClock(clk clock.Source) { e.clk = clk }
+
+// SetBreakerConfig replaces every shard's circuit-breaker configuration
+// (backoff schedule, probe budget, jitter, salvage-abandon bound). The
+// zero config selects the defaults, which match the historical op-count
+// schedule. MUST be called before the engine carries traffic: it
+// re-creates the per-shard breakers in the Closed state.
+func (e *Engine) SetBreakerConfig(cfg supervise.BreakerConfig) {
+	e.bcfg = supervise.NewBreaker(0, cfg).Config()
+	for i, sd := range e.shards {
+		sd.brk = supervise.NewBreaker(i, cfg)
+	}
+}
+
+// now reads the supervision clock: the injected source, or the
+// degraded-mode operation count.
+func (e *Engine) now() clock.Time {
+	if e.clk != nil {
+		return e.clk.Now()
+	}
+	return clock.Time(e.ops.Load())
+}
+
 // opTick advances the engine's operation clock and gives due rebuilds a
 // chance to run. The clock only ticks while a shard is down — backoff
-// windows are measured in degraded-mode operations either way, and
-// skipping the increment leaves the healthy hot path a single atomic
-// load.
+// windows on the default op-derived clock are measured in degraded-mode
+// operations — and skipping the increment leaves the healthy hot path a
+// single atomic load.
 func (e *Engine) opTick() {
 	if e.downShards.Load() != 0 {
 		e.ops.Add(1)
@@ -156,13 +238,15 @@ func (e *Engine) opTick() {
 	}
 }
 
-// maybeRebuild attempts every quarantined shard whose backoff has
-// expired. The unlocked pre-checks keep the degraded-mode overhead to a
-// few atomic loads per operation; tryRebuild re-validates under the lock.
+// maybeRebuild attempts every quarantined shard whose breaker backoff
+// has expired. The unlocked pre-checks (downFlag, the rebuilding CAS
+// guard, the breaker's published phase and reopen instant) keep the
+// degraded-mode overhead to a few atomic loads per operation; tryRebuild
+// re-validates under the lock.
 func (e *Engine) maybeRebuild() {
-	now := e.ops.Load()
+	now := e.now()
 	for i, sd := range e.shards {
-		if !sd.downFlag.Load() || sd.rebuilding.Load() || now < sd.rebuildAt.Load() {
+		if !sd.downFlag.Load() || sd.rebuilding.Load() || !sd.brk.ReadyToProbe(now) {
 			continue
 		}
 		e.tryRebuild(i, sd, false)
@@ -172,7 +256,8 @@ func (e *Engine) maybeRebuild() {
 // Recover forces an immediate rebuild attempt on every quarantined shard,
 // ignoring backoff, and reports how many shards remain down. Callers use
 // it to bound recovery latency once a fault storm has passed (a rebuild
-// that is itself faulted still fails and backs off).
+// that is itself faulted still fails and backs off). Rebuilt shards
+// rejoin half-open: real traffic closes their breakers.
 func (e *Engine) Recover() int {
 	for i, sd := range e.shards {
 		if sd.downFlag.Load() {
@@ -187,6 +272,12 @@ func (e *Engine) Recover() int {
 // unwinding through the caller. The caller must hold sd.mu and must have
 // checked sd.down; fn must confine its effects to this shard plus
 // engine-level counters it maintains exactly (see the residency fields).
+//
+// Every successful protected operation doubles as a health probe: while
+// the shard is half-open it counts against the breaker's probe budget,
+// and the operation that exhausts the budget closes the breaker and
+// records the outage episode's MTTR. The healthy-path cost is one
+// uncontended atomic load of the breaker phase (DESIGN.md §12).
 func (e *Engine) protect(i int, sd *shard, op string, fn func(l backend.ShardBackend)) (err error) {
 	defer func() {
 		if r := recover(); r != nil {
@@ -198,7 +289,27 @@ func (e *Engine) protect(i int, sd *shard, op string, fn func(l backend.ShardBac
 		e.hook(i, op)
 	}
 	fn(sd.list)
+	if sd.brk.Phase() == backend.BreakerHalfOpen {
+		now := e.now()
+		if closed, downtime := sd.brk.ProbeOK(now); closed {
+			e.probation.Add(-1)
+			e.fstats.recoveries.Add(1)
+			e.fstats.mttrTotal.Add(uint64(downtime))
+			storeMax(&e.fstats.mttrMax, uint64(downtime))
+			e.recordEvent(FaultEvent{Shard: i, Op: OpRecover, At: now, Downtime: downtime})
+		}
+	}
 	return nil
+}
+
+// storeMax CAS-raises dst to v.
+func storeMax(dst *atomic.Uint64, v uint64) {
+	for {
+		cur := dst.Load()
+		if v <= cur || dst.CompareAndSwap(cur, v) {
+			return
+		}
+	}
 }
 
 // quarantineLocked transitions shard i to the down state. Called from
@@ -238,6 +349,15 @@ func (e *Engine) quarantineLocked(i int, sd *shard, op string, cause any) {
 	e.offHome.Add(int64(salvagedOffHome - sd.offHomeResident))
 	sd.offHomeResident = salvagedOffHome
 
+	now := e.now()
+	if sd.brk.Phase() == backend.BreakerHalfOpen {
+		// A probation failure: the shard leaves the half-open pool and
+		// the breaker re-opens with its failure streak preserved, so the
+		// next backoff is longer than the last.
+		e.probation.Add(-1)
+	}
+	sd.brk.Trip(now)
+
 	sd.down = true
 	sd.downFlag.Store(true)
 	sd.bindList(nil)
@@ -247,7 +367,6 @@ func (e *Engine) quarantineLocked(i int, sd *shard, op string, cause any) {
 	sd.resident = len(ents)
 	addStats(&sd.statsBase, stats)
 	sd.attempts = 0
-	sd.rebuildAt.Store(e.ops.Load() + rebuildBackoffOps)
 	sd.minRank.Store(emptyRank)
 	sd.minSend.Store(uint64(clock.Never))
 
@@ -272,7 +391,30 @@ func (e *Engine) quarantineLocked(i int, sd *shard, op string, cause any) {
 		Err:      fmt.Sprint(cause),
 		Salvaged: len(ents),
 		Lost:     lost,
+		At:       now,
 	})
+}
+
+// undoPhantomLoss reverses the one-entry loss the salvage reconciliation
+// charged for an in-flight arrival that never landed: its residency was
+// pre-counted when the protected insert began, so the quarantine's
+// resident-vs-salvage comparison declared it lost — but its fate belongs
+// to the enqueue retry loop (which restores the capacity slot and probes
+// onward), not to the quarantine ledger. The counter, the slot, and the
+// latest quarantine event for the shard are all unwound, keeping the
+// event log's loss accounting exact.
+func (e *Engine) undoPhantomLoss(i int) {
+	e.size.Add(1)
+	e.fstats.lostEntries.Add(^uint64(0))
+	e.eventMu.Lock()
+	for k := len(e.events) - 1; k >= 0; k-- {
+		ev := &e.events[k]
+		if ev.Shard == i && ev.Op != OpRebuild && ev.Op != OpRecover {
+			ev.Lost--
+			break
+		}
+	}
+	e.eventMu.Unlock()
 }
 
 // salvageSnapshot reads the broken list's contents, tolerating a snapshot
@@ -293,8 +435,8 @@ func salvageStats(l backend.ShardBackend) (s core.Stats) {
 	return l.Stats()
 }
 
-// tryRebuild attempts to bring shard i back up. force skips the backoff
-// check (Recover). It reports whether the shard is up on return.
+// tryRebuild attempts to bring shard i back up. force skips the breaker
+// backoff check (Recover). It reports whether the shard is up on return.
 func (e *Engine) tryRebuild(i int, sd *shard, force bool) bool {
 	if !sd.rebuilding.CompareAndSwap(false, true) {
 		return false
@@ -305,7 +447,8 @@ func (e *Engine) tryRebuild(i int, sd *shard, force bool) bool {
 	if !sd.down {
 		return true
 	}
-	if !force && e.ops.Load() < sd.rebuildAt.Load() {
+	now := e.now()
+	if !force && !sd.brk.ReadyToProbe(now) {
 		return false
 	}
 
@@ -313,13 +456,9 @@ func (e *Engine) tryRebuild(i int, sd *shard, force bool) bool {
 	if rerr != nil {
 		sd.attempts++
 		e.fstats.rebuildFailures.Add(1)
-		if sd.attempts < maxRebuildAttempts {
-			backoff := uint64(rebuildBackoffOps) << uint(sd.attempts)
-			if backoff > rebuildBackoffMax {
-				backoff = rebuildBackoffMax
-			}
-			sd.rebuildAt.Store(e.ops.Load() + backoff)
-			e.recordEvent(FaultEvent{Shard: i, Op: OpRebuild, Err: rerr.Error(), Salvaged: len(sd.salvaged)})
+		sd.brk.FailProbe(now)
+		if sd.attempts < e.bcfg.MaxRebuildAttempts {
+			e.recordEvent(FaultEvent{Shard: i, Op: OpRebuild, Err: rerr.Error(), Salvaged: len(sd.salvaged), At: now})
 			return false
 		}
 		// The salvage cannot be replayed: declare it lost and rejoin
@@ -333,6 +472,7 @@ func (e *Engine) tryRebuild(i int, sd *shard, force bool) bool {
 			Op:    OpRebuild,
 			Err:   fmt.Sprintf("salvage abandoned after %d attempts: %v", sd.attempts, rerr),
 			Lost:  lost,
+			At:    now,
 		})
 		fresh = e.newList()
 		sd.resident = 0
@@ -343,7 +483,7 @@ func (e *Engine) tryRebuild(i int, sd *shard, force bool) bool {
 		// history.
 		subStats(&sd.statsBase, fresh.Stats())
 		e.fstats.rebuilds.Add(1)
-		e.recordEvent(FaultEvent{Shard: i, Op: OpRebuild, Salvaged: len(sd.salvaged)})
+		e.recordEvent(FaultEvent{Shard: i, Op: OpRebuild, Salvaged: len(sd.salvaged), At: now})
 	}
 
 	sd.bindList(fresh)
@@ -351,6 +491,12 @@ func (e *Engine) tryRebuild(i int, sd *shard, force bool) bool {
 	sd.attempts = 0
 	sd.down = false
 	sd.downFlag.Store(false)
+	// The shard rejoins HALF-OPEN: live traffic through protect counts
+	// down the probe budget, and only its exhaustion closes the breaker
+	// (recording the episode's MTTR). An abandoned-salvage rejoin is
+	// probationary too — the shard was just as faulty.
+	sd.brk.EnterProbation(now)
+	e.probation.Add(1)
 	if r, ok := fresh.MinRank(); ok {
 		if r == emptyRank {
 			r--
@@ -395,6 +541,33 @@ func (e *Engine) replaySalvage(i int, sd *shard) (l backend.ShardBackend, err er
 		return nil, fmt.Errorf("rebuilt list invalid: %w", cerr)
 	}
 	return fresh, nil
+}
+
+// Health implements backend.Health: the supervision layer's monitoring
+// surface. Occupancy/Capacity feed overload watermarks; per-shard
+// breaker phase, failure streak, and next-retry instant expose the
+// recovery state machine.
+func (e *Engine) Health() backend.HealthReport {
+	rep := backend.HealthReport{
+		Occupancy:       e.Len(),
+		Capacity:        e.capacity,
+		DownShards:      int(e.downShards.Load()),
+		ProbationShards: int(e.probation.Load()),
+		Shards:          make([]backend.ShardHealth, len(e.shards)),
+	}
+	for i, sd := range e.shards {
+		sd.mu.Lock()
+		rep.Shards[i] = backend.ShardHealth{
+			Index:         i,
+			Up:            !sd.down,
+			Phase:         sd.brk.Phase(),
+			FailureStreak: sd.brk.Streak(),
+			Occupancy:     sd.resident,
+			RetryAt:       sd.brk.ReopenAt(),
+		}
+		sd.mu.Unlock()
+	}
+	return rep
 }
 
 // salvageHas reports whether id sits in sd's salvage, taking the lock

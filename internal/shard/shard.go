@@ -42,9 +42,11 @@
 // the engine down. The quarantined shard salvages a snapshot of its
 // entries, traffic rehashes around it (enqueues probe the next healthy
 // shard; the tournament prunes it via its emptied summary), and a
-// rebuild with bounded, operation-count backoff replays the salvage into
-// a fresh list before the shard rejoins. See quarantine.go for the state
-// machine and DESIGN.md §8 for the failure model.
+// rebuild gated by a per-shard circuit breaker (clock-driven exponential
+// backoff with deterministic jitter) replays the salvage into a fresh
+// list, after which the shard serves a half-open probation before full
+// re-admission. See quarantine.go for the state machine and DESIGN.md
+// §8/§12 for the failure model and supervision layer.
 package shard
 
 import (
@@ -56,6 +58,7 @@ import (
 	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/core"
+	"pieo/internal/supervise"
 )
 
 // DefaultShards is the shard count the backend registry uses.
@@ -149,9 +152,16 @@ type shard struct {
 	salvaged     []core.Entry
 	salvagedSeqs []uint64
 	salvageIDs   map[uint32]struct{}
-	statsBase    core.Stats    // datapath counters of previous incarnations
-	attempts     int           // failed rebuild attempts since quarantine
-	rebuildAt    atomic.Uint64 // engine op count when the next attempt is due
+	statsBase    core.Stats // datapath counters of previous incarnations
+	attempts     int        // failed rebuild attempts since quarantine
+
+	// brk is this shard's circuit breaker: it schedules rebuild probes
+	// (exponential backoff + deterministic jitter on the engine's
+	// supervision clock) and runs the half-open probation that gates full
+	// re-admission. Transitions happen under mu; the phase and next-probe
+	// instant are additionally published through atomics for the engine's
+	// lock-free pre-checks (see supervise.Breaker).
+	brk *supervise.Breaker
 }
 
 // noteMutation refreshes the summary after inserting (or re-ranking) an
@@ -261,15 +271,20 @@ type Engine struct {
 	emptyDequeues atomic.Uint64 // tournaments that found nothing eligible
 	updateRanks   atomic.Uint64 // successful UpdateRanks (see Stats)
 
-	// Resilience state (see quarantine.go). ops is the engine operation
-	// clock rebuild backoff is scheduled against; downShards gates every
-	// degraded-mode slow path, so the healthy hot path pays one atomic
-	// load. offHome counts entries living away from their hash-home shard
-	// (placed there while the home was quarantined); point lookups widen
-	// to a full scan only while it is non-zero.
+	// Resilience state (see quarantine.go). ops counts degraded-mode
+	// operations and doubles as the default supervision clock when no
+	// clk is injected; downShards gates every degraded-mode slow path,
+	// so the healthy hot path pays one atomic load. probation counts
+	// shards currently serving their half-open probe budget. offHome
+	// counts entries living away from their hash-home shard (placed
+	// there while the home was quarantined); point lookups widen to a
+	// full scan only while it is non-zero.
 	ops        atomic.Uint64
 	downShards atomic.Int32
+	probation  atomic.Int32
 	offHome    atomic.Int64
+	clk        clock.Source               // supervision clock; nil → op-derived (SetClock)
+	bcfg       supervise.BreakerConfig    // effective breaker config (SetBreakerConfig)
 	hook       func(shard int, op string) // fault-injection hook; set before traffic
 	fstats     faultCounters
 	eventMu    sync.Mutex
@@ -353,11 +368,13 @@ func NewOn(n, k int, factory backend.ShardFactory) *Engine {
 		newList:     func() backend.ShardBackend { return factory(cfg) },
 		backendName: "custom",
 	}
+	e.bcfg = supervise.NewBreaker(0, supervise.BreakerConfig{}).Config()
 	for i := range e.shards {
 		e.shards[i] = &shard{
 			eng:     e,
 			ring:    newOpRing(),
 			minRank: &e.minRanks[i],
+			brk:     supervise.NewBreaker(i, supervise.BreakerConfig{}),
 		}
 		e.shards[i].bindList(e.newList())
 		e.shards[i].minRank.Store(emptyRank)
@@ -550,9 +567,11 @@ func (e *Engine) Enqueue(ent core.Entry) error {
 			}
 			if started {
 				// The insert never landed but was pre-counted as resident,
-				// so quarantine charged its reservation as a lost entry;
-				// restore the reservation for the ongoing probe.
-				e.size.Add(1)
+				// so quarantine charged its reservation as a lost entry.
+				// The arrival's fate belongs to this probe loop, not the
+				// loss ledger: unwind the phantom loss (size, counter, and
+				// event record) and probe onward.
+				e.undoPhantomLoss(i)
 			}
 			continue
 		}
@@ -1373,6 +1392,7 @@ func (e *Engine) CheckInvariants() error {
 	total := 0
 	offHome := 0
 	down := 0
+	halfOpen := 0
 	healthyMinSend := clock.Never
 	seen := make(map[uint32]int, e.Len())
 	for i, sd := range e.shards {
@@ -1380,6 +1400,16 @@ func (e *Engine) CheckInvariants() error {
 		err := func() error {
 			if err := checkRingLocked(sd.ring, i); err != nil {
 				return err
+			}
+			// Breaker-phase coherence: down ⟺ Open; an up shard is Closed
+			// or serving its half-open probation.
+			switch phase := sd.brk.Phase(); {
+			case sd.down && phase != backend.BreakerOpen:
+				return fmt.Errorf("shard %d: down but breaker phase %v", i, phase)
+			case !sd.down && phase == backend.BreakerOpen:
+				return fmt.Errorf("shard %d: up but breaker phase %v", i, phase)
+			case phase == backend.BreakerHalfOpen:
+				halfOpen++
 			}
 			checkIDs := func(ents []core.Entry) error {
 				off := 0
@@ -1469,6 +1499,9 @@ func (e *Engine) CheckInvariants() error {
 	}
 	if down != int(e.downShards.Load()) {
 		return fmt.Errorf("%d shards are down, downShards counter says %d", down, e.downShards.Load())
+	}
+	if halfOpen != int(e.probation.Load()) {
+		return fmt.Errorf("%d shards are half-open, probation counter says %d", halfOpen, e.probation.Load())
 	}
 	// The next-eligible index must stay a lower bound on the send times
 	// actually dequeueable — elements in healthy shards. (Salvaged entries

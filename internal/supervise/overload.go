@@ -1,0 +1,210 @@
+package supervise
+
+import (
+	"fmt"
+	"sync/atomic"
+
+	"pieo/internal/backend"
+)
+
+// Level is a graduated overload-control level. Higher levels shed more
+// aggressively; the Controller steps through them one watermark at a
+// time as occupancy rises and falls.
+type Level int32
+
+const (
+	// LevelAdmitAll is the unloaded steady state: arrivals are admitted
+	// and a full list surfaces as a plain rejection (the caller's
+	// historical contract).
+	LevelAdmitAll Level = iota
+	// LevelTailDrop absorbs overflow silently: arrivals that meet a full
+	// list are dropped without disturbing the resident set.
+	LevelTailDrop
+	// LevelPushOut applies the rank-aware rule: an arrival that outranks
+	// the worst resident evicts it; otherwise the arrival is dropped.
+	LevelPushOut
+	// LevelShed drops arrivals at the door, before they touch the list
+	// at all — the last-resort level that preserves already-admitted
+	// work when occupancy is critical. Integrations keep the level from
+	// inverting the priority order it protects by carving out
+	// already-admitted re-enqueues and arrivals that outrank the worst
+	// resident (internal/sched admits both under push-out).
+	LevelShed
+)
+
+// String names the level.
+func (l Level) String() string {
+	switch l {
+	case LevelAdmitAll:
+		return "admit-all"
+	case LevelTailDrop:
+		return "tail-drop"
+	case LevelPushOut:
+		return "push-out"
+	case LevelShed:
+		return "shed"
+	default:
+		return fmt.Sprintf("Level(%d)", int32(l))
+	}
+}
+
+// Policy maps the level onto the backend admission policy an Enqueue
+// should run under. LevelShed has no backend policy — callers shed
+// before calling the backend — so it maps to push-out for the rare
+// arrival a caller admits anyway.
+func (l Level) Policy() backend.AdmissionPolicy {
+	switch l {
+	case LevelTailDrop:
+		return backend.AdmitTailDrop
+	case LevelPushOut, LevelShed:
+		return backend.AdmitPushOut
+	default:
+		return backend.AdmitReject
+	}
+}
+
+// Watermarks are the occupancy fractions (of capacity) at which the
+// controller enters and exits each level. Hysteresis is the Enter/Exit
+// gap: a level entered at Enter is only left when occupancy falls
+// BELOW Exit, so occupancy noise around a single threshold cannot flap
+// the policy (EXPERIMENTS.md "recovery" demonstrates the no-flapping
+// property across ≥100 consecutive evaluations at constant load).
+type Watermarks struct {
+	EnterTailDrop, ExitTailDrop float64
+	EnterPushOut, ExitPushOut   float64
+	EnterShed, ExitShed         float64
+}
+
+// DefaultWatermarks returns the default ladder: tail-drop at 70%
+// (exit 60%), push-out at 85% (exit 75%), shed at 97% (exit 90%).
+func DefaultWatermarks() Watermarks {
+	return Watermarks{
+		EnterTailDrop: 0.70, ExitTailDrop: 0.60,
+		EnterPushOut: 0.85, ExitPushOut: 0.75,
+		EnterShed: 0.97, ExitShed: 0.90,
+	}
+}
+
+// Controller is the graduated overload controller: it evaluates
+// occupancy against the watermark ladder and holds the current Level.
+// One goroutine evaluates (the scheduler's arrival path); the level and
+// counters are atomics so concurrent observers (health reporting) read
+// coherently.
+type Controller struct {
+	capacity int
+	// enter[l] / exit[l] are absolute occupancies for level l (1..3):
+	// step up to l when occupancy >= enter[l], step down from l when
+	// occupancy < exit[l]. Index 0 is unused (LevelAdmitAll has no
+	// thresholds).
+	enter, exit [4]int
+
+	level       atomic.Int32
+	evals       atomic.Uint64
+	transitions atomic.Uint64
+	sheds       atomic.Uint64
+}
+
+// NewController builds a controller for a backend of the given capacity.
+// A zero Watermarks selects DefaultWatermarks. Panics on a malformed
+// ladder (fractions outside (0, 1], Exit ≥ Enter, or levels out of
+// order) — a misconfigured controller would silently misbehave under
+// exactly the load it exists for.
+func NewController(capacity int, wm Watermarks) *Controller {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("supervise: controller capacity must be positive, got %d", capacity))
+	}
+	if wm == (Watermarks{}) {
+		wm = DefaultWatermarks()
+	}
+	pairs := [3][2]float64{
+		{wm.EnterTailDrop, wm.ExitTailDrop},
+		{wm.EnterPushOut, wm.ExitPushOut},
+		{wm.EnterShed, wm.ExitShed},
+	}
+	c := &Controller{capacity: capacity}
+	prevEnter := 0.0
+	for i, p := range pairs {
+		enter, exit := p[0], p[1]
+		if enter <= 0 || enter > 1 || exit <= 0 || exit >= enter {
+			panic(fmt.Sprintf("supervise: watermark pair %d malformed: enter=%v exit=%v", i+1, enter, exit))
+		}
+		if enter < prevEnter {
+			panic(fmt.Sprintf("supervise: watermark enter thresholds must be non-decreasing (level %d: %v after %v)", i+1, enter, prevEnter))
+		}
+		prevEnter = enter
+		// Round enter up and exit down so a fractional threshold never
+		// admits a level earlier (or holds it longer) than the fraction
+		// specifies on small capacities.
+		c.enter[i+1] = ceilFrac(capacity, enter)
+		c.exit[i+1] = int(float64(capacity) * exit)
+		if c.exit[i+1] >= c.enter[i+1] {
+			// Degenerate on tiny capacities: keep at least one unit of
+			// hysteresis so the no-flapping property survives rounding.
+			c.exit[i+1] = c.enter[i+1] - 1
+		}
+	}
+	return c
+}
+
+func ceilFrac(n int, f float64) int {
+	v := int(float64(n) * f)
+	if float64(v) < float64(n)*f {
+		v++
+	}
+	return v
+}
+
+// Capacity returns the capacity the watermarks are scaled against.
+func (c *Controller) Capacity() int { return c.capacity }
+
+// Level returns the current overload level.
+func (c *Controller) Level() Level { return Level(c.level.Load()) }
+
+// Evaluate steps the level ladder against the observed occupancy and
+// returns the level arrivals should be admitted under. Steps are
+// hysteretic: the controller climbs while occupancy is at or above the
+// next level's enter mark and descends only when occupancy falls below
+// the current level's exit mark, so at any constant occupancy the level
+// is stable after at most one call (no flapping).
+func (c *Controller) Evaluate(occupancy int) Level {
+	c.evals.Add(1)
+	lvl := Level(c.level.Load())
+	next := lvl
+	for next < LevelShed && occupancy >= c.enter[next+1] {
+		next++
+	}
+	for next > LevelAdmitAll && occupancy < c.exit[next] {
+		next--
+	}
+	if next != lvl {
+		c.transitions.Add(1)
+		c.level.Store(int32(next))
+	}
+	return next
+}
+
+// NoteShed counts one arrival dropped at the door under LevelShed.
+func (c *Controller) NoteShed() { c.sheds.Add(1) }
+
+// ControllerStats is a point-in-time controller snapshot.
+type ControllerStats struct {
+	// Level is the current overload level.
+	Level Level
+	// Evaluations counts Evaluate calls; Transitions counts the subset
+	// that changed level. Their ratio is the flapping measure the
+	// recovery experiment asserts on.
+	Evaluations uint64
+	Transitions uint64
+	// Sheds counts arrivals dropped at the door under LevelShed.
+	Sheds uint64
+}
+
+// Stats returns the controller's counters.
+func (c *Controller) Stats() ControllerStats {
+	return ControllerStats{
+		Level:       c.Level(),
+		Evaluations: c.evals.Load(),
+		Transitions: c.transitions.Load(),
+		Sheds:       c.sheds.Load(),
+	}
+}

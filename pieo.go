@@ -43,6 +43,7 @@ import (
 	"pieo/internal/netsim"
 	"pieo/internal/sched"
 	"pieo/internal/shard"
+	"pieo/internal/supervise"
 	"pieo/internal/wire"
 
 	// Linked for its backend registration only: keeps the flat executable
@@ -84,6 +85,9 @@ var (
 	// ErrUnknownFlow reports an ordered-list extraction whose ID has no
 	// registered flow state.
 	ErrUnknownFlow = core.ErrUnknownFlow
+	// ErrDeadline reports a blocking operation that exceeded its
+	// configured time budget on the supervision clock (DESIGN.md §12).
+	ErrDeadline = core.ErrDeadline
 )
 
 // NewList creates a PIEO ordered list with capacity n using the paper's
@@ -148,7 +152,76 @@ type (
 	// ShardFaultStats counts quarantine/rebuild/loss activity inside the
 	// sharded engine.
 	ShardFaultStats = shard.FaultStats
+	// ShardFaultEvent is one entry of the sharded engine's fault log,
+	// stamped with its supervision-clock instant; recovery events carry
+	// the episode's downtime, so MTTR is computable from the log alone
+	// (MTTRFromEvents).
+	ShardFaultEvent = shard.FaultEvent
 )
+
+// Self-healing supervision surface (DESIGN.md §12).
+type (
+	// Health is the capability health-aware backends implement: a
+	// point-in-time report of occupancy plus per-partition circuit-breaker
+	// state. The sharded engine and SyncList both implement it.
+	Health = backend.Health
+	// HealthReport is the point-in-time backend health snapshot.
+	HealthReport = backend.HealthReport
+	// ShardHealth is one partition's health entry in a HealthReport.
+	ShardHealth = backend.ShardHealth
+	// BreakerPhase is a partition's circuit-breaker state
+	// (closed / open / half-open).
+	BreakerPhase = backend.BreakerPhase
+	// BreakerConfig tunes the sharded engine's per-shard circuit breakers
+	// (backoff schedule, probation budget, jitter); see
+	// ShardedList.SetBreakerConfig.
+	BreakerConfig = supervise.BreakerConfig
+	// OverloadController steps admission through the graduated overload
+	// ladder (admit-all → tail-drop → push-out → shed) on occupancy
+	// watermarks with hysteresis; attach one to Scheduler.Overload.
+	OverloadController = supervise.Controller
+	// OverloadControllerStats is a controller counter snapshot
+	// (level, evaluations, transitions, sheds).
+	OverloadControllerStats = supervise.ControllerStats
+	// OverloadLevel is one rung of the graduated overload ladder.
+	OverloadLevel = supervise.Level
+	// Watermarks are the enter/exit occupancy fractions of each overload
+	// level; the enter/exit gap is the no-flapping hysteresis.
+	Watermarks = supervise.Watermarks
+)
+
+// Circuit-breaker phases (DESIGN.md §12).
+const (
+	BreakerClosed   = backend.BreakerClosed
+	BreakerOpen     = backend.BreakerOpen
+	BreakerHalfOpen = backend.BreakerHalfOpen
+)
+
+// Graduated overload levels (DESIGN.md §12).
+const (
+	LevelAdmitAll = supervise.LevelAdmitAll
+	LevelTailDrop = supervise.LevelTailDrop
+	LevelPushOut  = supervise.LevelPushOut
+	LevelShed     = supervise.LevelShed
+)
+
+// HealthOf returns b's health report when the backend implements the
+// Health capability.
+func HealthOf(b Backend) (HealthReport, bool) { return backend.HealthOf(b) }
+
+// NewOverloadController builds a graduated overload controller for a
+// backend of the given capacity; a zero Watermarks selects the default
+// ladder (tail-drop 70/60, push-out 85/75, shed 97/90).
+func NewOverloadController(capacity int, wm Watermarks) *OverloadController {
+	return supervise.NewController(capacity, wm)
+}
+
+// MTTRFromEvents computes recovery statistics from a sharded engine's
+// fault log alone: the number of completed outage episodes and their
+// total and maximum downtime on the supervision clock.
+func MTTRFromEvents(events []ShardFaultEvent) (recoveries int, total, max Time) {
+	return shard.MTTR(events)
+}
 
 // Admission policies for full lists (DESIGN.md §8).
 const (

@@ -107,6 +107,58 @@ func TestPublicExperiments(t *testing.T) {
 	}
 }
 
+// TestPublicHealthAPI pins the self-healing supervision surface on the
+// facade: HealthOf on the sharded engine and SyncList, the overload
+// controller ladder, and MTTR from the fault log.
+func TestPublicHealthAPI(t *testing.T) {
+	sl := NewShardedList(1024, 4)
+	if err := sl.Enqueue(Entry{ID: 1, Rank: 10, SendTime: Always}); err != nil {
+		t.Fatal(err)
+	}
+	hr, ok := HealthOf(sl)
+	if !ok {
+		t.Fatal("sharded engine does not report health")
+	}
+	if hr.Occupancy != 1 || hr.Capacity != 1024 || hr.DownShards != 0 || len(hr.Shards) != 4 {
+		t.Fatalf("sharded health = %+v", hr)
+	}
+	for _, sh := range hr.Shards {
+		if !sh.Up || sh.Phase != BreakerClosed {
+			t.Fatalf("healthy shard reports %+v", sh)
+		}
+	}
+
+	sync := NewSyncList(64)
+	if err := sync.Enqueue(Entry{ID: 9, Rank: 1, SendTime: Always}); err != nil {
+		t.Fatal(err)
+	}
+	hr, ok = HealthOf(sync)
+	if !ok {
+		t.Fatal("SyncList does not report health")
+	}
+	if hr.Occupancy != 1 || hr.Capacity != 64 || len(hr.Shards) != 1 || hr.Shards[0].Phase != BreakerClosed {
+		t.Fatalf("synclist health = %+v", hr)
+	}
+	if f := hr.OccupancyFraction(); f <= 0 || f > 1 {
+		t.Fatalf("occupancy fraction = %v", f)
+	}
+
+	ctl := NewOverloadController(100, Watermarks{})
+	if lvl := ctl.Evaluate(10); lvl != LevelAdmitAll {
+		t.Fatalf("level at 10%% = %v", lvl)
+	}
+	if lvl := ctl.Evaluate(99); lvl != LevelShed {
+		t.Fatalf("level at 99%% = %v", lvl)
+	}
+	if ctl.Stats().Transitions == 0 {
+		t.Fatal("ladder climb recorded no transitions")
+	}
+
+	if rec, total, max := MTTRFromEvents(nil); rec != 0 || total != 0 || max != 0 {
+		t.Fatalf("MTTR of empty log = %d/%v/%v", rec, total, max)
+	}
+}
+
 // ExampleNewList demonstrates the quickstart: eligibility-filtered
 // dequeue from an ordered list.
 func ExampleNewList() {

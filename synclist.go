@@ -243,6 +243,31 @@ func (s *SyncList) CombiningStats() backend.CombiningStats {
 	return backend.CombiningStats{}
 }
 
+// Health implements backend.Health: delegated to the wrapped backend's
+// report when it has one (a sharded engine under the lock), synthesized
+// as a single always-closed partition otherwise — a lock-guarded list
+// has no quarantine machinery, so its health surface is occupancy plus
+// the Faults counter.
+func (s *SyncList) Health() backend.HealthReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if h, ok := s.b.(backend.Health); ok {
+		return h.Health()
+	}
+	occ := s.b.Len()
+	capacity := 0
+	if c, ok := s.b.(interface{ Capacity() int }); ok {
+		capacity = c.Capacity()
+	}
+	return backend.HealthReport{
+		Occupancy: occ,
+		Capacity:  capacity,
+		Shards: []backend.ShardHealth{
+			{Index: 0, Up: true, Phase: backend.BreakerClosed, Occupancy: occ},
+		},
+	}
+}
+
 // Snapshot returns the rank-ordered contents.
 func (s *SyncList) Snapshot() []Entry {
 	s.mu.RLock()
@@ -268,4 +293,5 @@ var (
 	_ backend.Backend     = (*SyncList)(nil)
 	_ backend.Batcher     = (*SyncList)(nil)
 	_ backend.EligIndexed = (*SyncList)(nil)
+	_ backend.Health      = (*SyncList)(nil)
 )
