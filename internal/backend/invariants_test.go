@@ -113,6 +113,237 @@ func TestCheckInvariantsAllBackends(t *testing.T) {
 	}
 }
 
+// TestRangedStormAllBackends drives a banded workload — the access
+// pattern of the partitioned hierarchy — against every registered
+// backend: IDs are assigned to four disjoint bands and every extraction
+// is a DequeueRange over one band. Asserts no cross-band leakage, exact
+// per-band (per-logical-node) conservation against a reference model,
+// and structural invariants throughout.
+func TestRangedStormAllBackends(t *testing.T) {
+	const bands = 4
+	const bandWidth = 1 << 16
+	for _, name := range backend.Names() {
+		t.Run(name, func(t *testing.T) {
+			b, err := backend.New(name, 1024)
+			if err != nil {
+				t.Fatalf("construct: %v", err)
+			}
+			rng := invLCG(21)
+			resident := make([]map[uint32]core.Entry, bands)
+			next := make([]uint32, bands)
+			for i := range resident {
+				resident[i] = make(map[uint32]core.Entry)
+			}
+			for op := 0; op < 8000; op++ {
+				band := int(rng.next() % bands)
+				lo := uint32(band * bandWidth)
+				switch rng.next() % 4 {
+				case 0, 1: // enqueue into the band
+					id := lo + next[band]
+					next[band]++
+					ent := core.Entry{ID: id, Rank: rng.next() % 500, SendTime: clock.Time(rng.next() % 32)}
+					if err := b.Enqueue(ent); err == nil {
+						resident[band][id] = ent
+					}
+				case 2: // ranged dequeue over the band
+					now := clock.Time(rng.next() % 64)
+					ent, ok := b.DequeueRange(now, lo, lo+bandWidth-1)
+					if !ok {
+						continue
+					}
+					model, mine := resident[band][ent.ID]
+					if !mine {
+						t.Fatalf("op %d: DequeueRange[%d] leaked id %d (not this band's)", op, band, ent.ID)
+					}
+					if model != ent {
+						t.Fatalf("op %d: band %d returned %+v, model holds %+v", op, band, ent, model)
+					}
+					if !ent.Eligible(now) {
+						t.Fatalf("op %d: band %d returned ineligible %+v at %d", op, band, ent, now)
+					}
+					delete(resident[band], ent.ID)
+				case 3: // re-rank a band resident
+					if len(resident[band]) == 0 {
+						continue
+					}
+					var id uint32
+					for k := range resident[band] {
+						id = k
+						break
+					}
+					ent := resident[band][id]
+					ent.Rank = rng.next() % 500
+					ent.SendTime = clock.Time(rng.next() % 32)
+					if ok, err := backend.UpdateRank(b, id, ent.Rank, ent.SendTime); err != nil {
+						t.Fatalf("op %d: UpdateRank(%d): %v", op, id, err)
+					} else if !ok {
+						t.Fatalf("op %d: UpdateRank missed resident id %d", op, id)
+					}
+					resident[band][id] = ent
+				}
+				if op%1024 == 0 {
+					if err := backend.CheckInvariants(b); err != nil {
+						t.Fatalf("invariants after op %d: %v", op, err)
+					}
+				}
+			}
+			// Per-band conservation: ranged drain must return exactly the
+			// band's model, in rank order (approx quantizes order away by
+			// design, so it is conservation-only), and nothing else.
+			exactOrder := name != "approx"
+			for band := 0; band < bands; band++ {
+				lo := uint32(band * bandWidth)
+				lastRank := uint64(0)
+				for len(resident[band]) > 0 {
+					ent, ok := b.DequeueRange(clock.Time(1<<60), lo, lo+bandWidth-1)
+					if !ok {
+						t.Fatalf("band %d drain stalled with %d resident", band, len(resident[band]))
+					}
+					if exactOrder && ent.Rank < lastRank {
+						t.Fatalf("band %d drain out of rank order: %d after %d", band, ent.Rank, lastRank)
+					}
+					lastRank = ent.Rank
+					if _, mine := resident[band][ent.ID]; !mine {
+						t.Fatalf("band %d drain leaked id %d", band, ent.ID)
+					}
+					delete(resident[band], ent.ID)
+				}
+				if _, ok := b.DequeueRange(clock.Time(1<<60), lo, lo+bandWidth-1); ok {
+					t.Fatalf("band %d over-delivered past its model", band)
+				}
+			}
+			if b.Len() != 0 {
+				t.Fatalf("backend holds %d after every band drained", b.Len())
+			}
+			if err := backend.CheckInvariants(b); err != nil {
+				t.Fatalf("post-drain invariants: %v", err)
+			}
+		})
+	}
+}
+
+// TestShardBackendDequeueRangeBelowSeq exercises the seq-aware ranged
+// contract directly on every registered shard backend: the peek/take
+// split on the rank limit, exact (rank, seq) winner selection within a
+// band, stat-free peeks, and per-band conservation.
+func TestShardBackendDequeueRangeBelowSeq(t *testing.T) {
+	const bands = 3
+	const bandWidth = 1 << 10
+	for _, name := range backend.ShardNames() {
+		t.Run(name, func(t *testing.T) {
+			sb, err := backend.NewShard(name, backend.ShardConfig{Capacity: 4096, ExpectedOccupancy: 512})
+			if err != nil {
+				t.Fatalf("construct: %v", err)
+			}
+			rng := invLCG(33)
+			type stamped struct {
+				e   core.Entry
+				seq uint64
+			}
+			resident := make([]map[uint32]stamped, bands)
+			next := make([]uint32, bands)
+			for i := range resident {
+				resident[i] = make(map[uint32]stamped)
+			}
+			var seq uint64
+			for op := 0; op < 6000; op++ {
+				band := int(rng.next() % bands)
+				lo := uint32(band * bandWidth)
+				hi := lo + bandWidth - 1
+				switch rng.next() % 4 {
+				case 0, 1: // seq-stamped insert
+					id := lo + next[band]%bandWidth
+					next[band]++
+					if _, dup := resident[band][id]; dup {
+						continue
+					}
+					seq++
+					ent := core.Entry{ID: id, Rank: rng.next() % 200, SendTime: clock.Time(rng.next() % 16)}
+					if err := sb.EnqueueSeq(ent, seq); err != nil {
+						continue
+					}
+					resident[band][id] = stamped{ent, seq}
+				case 2: // ranged below-seq: compare against the model's exact winner
+					now := clock.Time(rng.next() % 24)
+					var want stamped
+					found := false
+					for _, s := range resident[band] {
+						if s.e.SendTime > now {
+							continue
+						}
+						if !found || s.e.Rank < want.e.Rank || (s.e.Rank == want.e.Rank && s.seq < want.seq) {
+							want = s
+							found = true
+						}
+					}
+					limit := rng.next() % 300
+					before := sb.Stats()
+					e, gotSeq, eligible, taken := sb.DequeueRangeBelowSeq(now, lo, hi, limit)
+					if eligible != found {
+						t.Fatalf("op %d: band %d eligible=%v, model says %v", op, band, eligible, found)
+					}
+					if !eligible {
+						continue
+					}
+					if e != want.e || gotSeq != want.seq {
+						t.Fatalf("op %d: band %d returned (%+v, seq %d), model's winner (%+v, seq %d)",
+							op, band, e, gotSeq, want.e, want.seq)
+					}
+					if wantTake := want.e.Rank < limit; taken != wantTake {
+						t.Fatalf("op %d: rank %d limit %d: taken=%v, want %v", op, band, limit, taken, wantTake)
+					}
+					if taken {
+						delete(resident[band], e.ID)
+					} else if sb.Stats() != before {
+						t.Fatalf("op %d: pure peek charged stats: %+v -> %+v", op, before, sb.Stats())
+					}
+				case 3: // seq-restamping re-rank
+					if len(resident[band]) == 0 {
+						continue
+					}
+					var id uint32
+					for k := range resident[band] {
+						id = k
+						break
+					}
+					seq++
+					s := resident[band][id]
+					s.e.Rank = rng.next() % 200
+					s.e.SendTime = clock.Time(rng.next() % 16)
+					s.seq = seq
+					if !sb.UpdateRankSeq(id, s.e.Rank, s.e.SendTime, seq) {
+						t.Fatalf("op %d: UpdateRankSeq missed resident id %d", op, id)
+					}
+					resident[band][id] = s
+				}
+			}
+			if err := sb.CheckInvariants(); err != nil {
+				t.Fatalf("post-storm invariants: %v", err)
+			}
+			// Per-band conservation: drain each band with take-everything
+			// limits; each must yield exactly its model.
+			totalModel := 0
+			for band := 0; band < bands; band++ {
+				lo := uint32(band * bandWidth)
+				totalModel += len(resident[band])
+				for len(resident[band]) > 0 {
+					e, _, eligible, taken := sb.DequeueRangeBelowSeq(clock.Time(1<<60), lo, lo+bandWidth-1, ^uint64(0))
+					if !eligible || !taken {
+						t.Fatalf("band %d drain stalled with %d resident", band, len(resident[band]))
+					}
+					if _, mine := resident[band][e.ID]; !mine {
+						t.Fatalf("band %d drain leaked id %d", band, e.ID)
+					}
+					delete(resident[band], e.ID)
+				}
+			}
+			if sb.Len() != 0 {
+				t.Fatalf("shard backend holds %d after all bands drained", sb.Len())
+			}
+		})
+	}
+}
+
 // TestCheckInvariantsPostFault repeats the sweep with the fault-injection
 // wrapper interposed: injected errors and capacity squeezes must leave
 // every backend structurally clean, because a shed arrival never touches

@@ -98,6 +98,7 @@ var registry = map[string]Runner{
 	"pacing-precision": PacingPrecision,
 	"wfi":              WFI,
 	"hier3":            Hier3,
+	"hierscale":        HierScale,
 	"hotpath":          Hotpath,
 	"overload":         Overload,
 	"combining":        Combining,

@@ -275,6 +275,144 @@ func runEngineChaosConcurrent(t *testing.T, forceRing bool, backendName string) 
 		len(accepted), len(delivered), e.FaultStats(), inj.Stats())
 }
 
+// TestEngineChaosRangedConcurrent is the banded -race storm: the access
+// pattern of the partitioned hierarchy (every worker confined to a
+// disjoint ID band, every extraction a DequeueRange over one band)
+// driven through scheduled shard panics, quarantine, and rebuild. The
+// audit is PER LOGICAL BAND, not whole-engine: no ranged dequeue may
+// leak another band's element, and each band's accepted set must be
+// fully accounted as delivered + still queued + declared lost.
+func TestEngineChaosRangedConcurrent(t *testing.T) {
+	for _, tc := range []struct {
+		name      string
+		backend   string
+		forceRing bool
+	}{
+		{"core", "core", false},
+		{"core-ring", "core", true},
+		{"cffs", "cffs", false},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			runEngineChaosRanged(t, tc.backend, tc.forceRing)
+		})
+	}
+}
+
+func runEngineChaosRanged(t *testing.T, backendName string, forceRing bool) {
+	const (
+		bands      = 4
+		perBand    = 4000
+		bandWidth  = 1 << 20 // bands far apart so leakage is unambiguous
+		capacityN  = 64 * 1024
+		shardCount = 8
+	)
+	inj := faultinject.NewInjector(faultinject.Plan{Seed: 123, PanicEvery: 173, LatencyEvery: 41, LatencyNs: 200})
+	e, err := shard.NewNamed(capacityN, shardCount, backendName)
+	if err != nil {
+		t.Fatalf("construct %q engine: %v", backendName, err)
+	}
+	e.SetForceRing(forceRing)
+	e.SetFaultHook(inj.ShardHook())
+
+	bandLo := func(b int) uint32 { return uint32(b * bandWidth) }
+	acceptedCh := make([][]uint32, bands)
+	deliveredCh := make([][]core.Entry, bands)
+	var wg sync.WaitGroup
+	for b := 0; b < bands; b++ {
+		wg.Add(1)
+		go func(b int) { // producer: enqueues only its own band's IDs
+			defer wg.Done()
+			rng := lcg(5000 + b)
+			var mine []uint32
+			for i := 0; i < perBand; i++ {
+				id := bandLo(b) + uint32(i)
+				ent := core.Entry{ID: id, Rank: rng.next() % 5000, SendTime: clock.Time(rng.next() % 16)}
+				if err := e.Enqueue(ent); err == nil {
+					mine = append(mine, id)
+				}
+			}
+			acceptedCh[b] = mine
+		}(b)
+		wg.Add(1)
+		go func(b int) { // ranged consumer: extracts only from its band
+			defer wg.Done()
+			rng := lcg(6000 + b)
+			lo, hi := bandLo(b), bandLo(b)+bandWidth-1
+			var mine []core.Entry
+			for i := 0; i < perBand; i++ {
+				if ent, ok := e.DequeueRange(clock.Time(rng.next()%32), lo, hi); ok {
+					if ent.ID < lo || ent.ID > hi {
+						t.Errorf("band %d ranged dequeue leaked id %d", b, ent.ID)
+						return
+					}
+					mine = append(mine, ent)
+				}
+			}
+			deliveredCh[b] = mine
+		}(b)
+	}
+	wg.Wait()
+
+	inj.Disarm()
+	recoverAll(t, e)
+	if err := e.CheckInvariants(); err != nil {
+		t.Fatalf("post-storm invariants: %v", err)
+	}
+
+	// Whole-engine conservation first (the established audit)...
+	accepted := make(map[uint32]bool)
+	for _, ids := range acceptedCh {
+		for _, id := range ids {
+			accepted[id] = true
+		}
+	}
+	var delivered []core.Entry
+	for _, ents := range deliveredCh {
+		delivered = append(delivered, ents...)
+	}
+	auditConservation(t, e, accepted, delivered)
+
+	// ...then the per-band ledger: ranged drains must empty the engine
+	// band by band (every element belongs to exactly one band), each in
+	// rank order, and each band's accepted count must decompose into
+	// delivered + drained + its share of the declared losses.
+	lostTotal := int(e.FaultStats().LostEntries)
+	lostSum := 0
+	for b := 0; b < bands; b++ {
+		lo, hi := bandLo(b), bandLo(b)+bandWidth-1
+		drained := 0
+		lastRank := uint64(0)
+		for {
+			ent, ok := e.DequeueRange(clock.Time(1<<60), lo, hi)
+			if !ok {
+				break
+			}
+			if ent.ID < lo || ent.ID > hi {
+				t.Fatalf("band %d drain leaked id %d", b, ent.ID)
+			}
+			if ent.Rank < lastRank {
+				t.Fatalf("band %d drain out of rank order: %d after %d", b, ent.Rank, lastRank)
+			}
+			lastRank = ent.Rank
+			drained++
+		}
+		lost := len(acceptedCh[b]) - len(deliveredCh[b]) - drained
+		if lost < 0 {
+			t.Fatalf("band %d over-delivered: accepted %d, delivered %d, drained %d",
+				b, len(acceptedCh[b]), len(deliveredCh[b]), drained)
+		}
+		lostSum += lost
+	}
+	if e.Len() != 0 {
+		t.Fatalf("engine holds %d entries outside every band", e.Len())
+	}
+	if lostSum != lostTotal {
+		t.Fatalf("per-band losses sum to %d, engine declared %d", lostSum, lostTotal)
+	}
+	t.Logf("ranged storm %s: %d accepted, %d delivered mid-storm, lost %d, faults=%+v",
+		backendName, len(accepted), len(delivered), lostTotal, e.FaultStats())
+}
+
 // TestWrapperDeclaredDrops verifies the backend wrapper's bookkeeping:
 // every injected enqueue failure is recorded as a declared drop, and the
 // inner backend conserves everything else.

@@ -10,13 +10,15 @@ import (
 	"pieo/internal/flowq"
 )
 
-// buildRandomTree grows a random 2-4 level hierarchy with mixed policies
-// and returns the hierarchy plus its leaf flow ids.
-func buildRandomTree(rng *rand.Rand) (*Hierarchy, []flowq.FlowID) {
+// buildRandomTreeOn grows a random 2-4 level hierarchy with mixed
+// policies into a hierarchy produced by mk. The rng fully determines the
+// topology, so two calls with identically-seeded generators build the
+// same tree — the differential suite's oracle pairing relies on this.
+func buildRandomTreeOn(rng *rand.Rand, mk func(rootPolicy *Policy) *Hierarchy) (*Hierarchy, []flowq.FlowID) {
 	policies := []func() *Policy{RoundRobin, StrictPriority, WFQ, WF2Q, DRR}
 	pick := func() *Policy { return policies[rng.Intn(len(policies))]() }
 
-	h := New(40, pick())
+	h := mk(pick())
 	var flows []flowq.FlowID
 	nextFlow := flowq.FlowID(0)
 
@@ -49,6 +51,12 @@ func buildRandomTree(rng *rand.Rand) (*Hierarchy, []flowq.FlowID) {
 	}
 	fix(h.Root())
 	return h, flows
+}
+
+// buildRandomTree grows a random 2-4 level hierarchy with mixed policies
+// over the default per-level layout.
+func buildRandomTree(rng *rand.Rand) (*Hierarchy, []flowq.FlowID) {
+	return buildRandomTreeOn(rng, func(p *Policy) *Hierarchy { return New(40, p) })
 }
 
 // TestRandomTopologyConservation drives random trees with random

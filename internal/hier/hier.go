@@ -61,6 +61,15 @@ type Child struct {
 // IsLeaf reports whether the child is a flow.
 func (c *Child) IsLeaf() bool { return c.Queue != nil }
 
+// NodeStats counts the logical-PIEO operations one node issued against
+// its physical structure — the per-node view of backend.Stats, identical
+// across the per-level and partitioned modes for the same traffic.
+type NodeStats struct {
+	Enqueues      uint64 // successful inserts into this node's logical PIEO
+	Dequeues      uint64 // successful ranged extractions
+	EmptyDequeues uint64 // ranged extractions that found nothing eligible
+}
+
 // Node is a non-leaf vertex of the scheduling tree. Its Policy schedules
 // its children; V is its private fair-queueing virtual clock.
 type Node struct {
@@ -73,10 +82,25 @@ type Node struct {
 	parent     *Node
 	self       *Child // this node's entity in the parent's logical PIEO (nil at root)
 	children   []*Child
-	lo, hi     uint32 // child-index range in levels[depth], set by Build
-	active     int    // children currently enqueued in levels[depth]
-	cachedSumW uint64 // lazily cached total child weight
+	lo, hi     uint32     // child-index range (per-level mode) or band (partitioned)
+	part       *Partition // this node's logical PIEO band (partitioned mode only)
+	active     int        // children currently enqueued in this node's logical PIEO
+	cachedSumW uint64     // lazily cached total child weight
+	stats      NodeStats
+	faults     backend.FaultStats // non-strict faults charged to THIS node
 }
+
+// Stats returns the node's logical-PIEO operation counters.
+func (n *Node) Stats() NodeStats { return n.stats }
+
+// FaultStats returns the non-strict faults charged to this node — the
+// per-node breakdown of Hierarchy.FaultStats, so a chaos audit can
+// assert where drops landed, not just that they happened.
+func (n *Node) FaultStats() backend.FaultStats { return n.faults }
+
+// Partition returns the node's ID band in partitioned mode, nil in
+// per-level mode.
+func (n *Node) Partition() *Partition { return n.part }
 
 // Self returns this node's own child entity — the handle the control
 // plane uses to configure how the node's parent schedules it (rate limit,
@@ -124,13 +148,20 @@ type Hierarchy struct {
 	Strict bool
 
 	root     *Node
-	levels   []backend.Backend // levels[d] holds the children of depth-d nodes
-	wall     []bool            // levels[d] predicates live in the wall-clock domain
+	levels   []backend.Backend // levels[d] holds the children of depth-d nodes (per-level mode)
+	wall     []bool            // depth-d predicates live in the wall-clock domain
 	factory  func(capacity int) backend.Backend
 	leaves   map[flowq.FlowID]*Child
 	parentOf map[flowq.FlowID]*Node
-	byID     []map[uint32]*Child // per depth: child-index -> Child
+	byID     []map[uint32]*Child // per depth: child id -> Child
+	nodesAt  [][]*Node           // interior nodes per depth, BFS order
 	built    bool
+
+	// Partitioned mode (§4.2): every node's logical PIEO is an ID band
+	// of ONE shared physical backend instead of a slice of a per-level
+	// list. pt is nil in per-level mode.
+	partitioned bool
+	pt          *Partitioner
 
 	faults  backend.FaultStats // non-strict fault counters
 	lastErr error              // most recent non-strict fault
@@ -169,6 +200,27 @@ func NewOn(linkRateGbps float64, rootPolicy *Policy, factory func(capacity int) 
 	return h
 }
 
+// NewPartitioned creates a hierarchy in partitioned mode over the
+// default paper-exact list: every node's logical PIEO is a contiguous ID
+// band of one shared physical PIEO (§4.2) instead of a per-level list.
+func NewPartitioned(linkRateGbps float64, rootPolicy *Policy) *Hierarchy {
+	return NewPartitionedOn(linkRateGbps, rootPolicy, func(n int) backend.Backend {
+		return backend.NewCoreList(n)
+	})
+}
+
+// NewPartitionedOn creates a partitioned-mode hierarchy whose single
+// shared physical PIEO is built by factory at Build time, sized to the
+// total child count across every level. On the sharded engine, node
+// dequeues compile to the per-shard DequeueRangeBelowSeq ranged
+// tournament; any backend.Backend satisfying the DequeueRange contract
+// works.
+func NewPartitionedOn(linkRateGbps float64, rootPolicy *Policy, factory func(capacity int) backend.Backend) *Hierarchy {
+	h := NewOn(linkRateGbps, rootPolicy, factory)
+	h.partitioned = true
+	return h
+}
+
 // FaultStats returns the non-strict fault counters.
 func (h *Hierarchy) FaultStats() backend.FaultStats { return h.faults }
 
@@ -186,11 +238,16 @@ func (h *Hierarchy) mustNotBeBuilt() {
 
 // Build freezes the topology: it assigns contiguous child-index ranges
 // per parent at every depth (the paper's logical partitioning) and
-// allocates one physical PIEO per level. It must be called exactly once
-// before traffic.
+// allocates the physical structure — one PIEO per level, or (partitioned
+// mode) one shared PIEO whose ID space is carved into per-node bands. It
+// must be called exactly once before traffic.
 func (h *Hierarchy) Build() {
 	h.mustNotBeBuilt()
 	h.built = true
+	if h.partitioned {
+		h.buildPartitioned()
+		return
+	}
 
 	// Breadth-first: assign ids depth by depth so siblings are
 	// contiguous and each parent gets [lo, hi].
@@ -221,8 +278,110 @@ func (h *Hierarchy) Build() {
 		h.levels = append(h.levels, h.factory(int(nextID)))
 		h.wall = append(h.wall, wall)
 		h.byID = append(h.byID, index)
+		h.nodesAt = append(h.nodesAt, level)
 		level = next
 	}
+}
+
+// buildPartitioned freezes a partitioned-mode topology: one shared
+// physical PIEO sized to the total child count, one Partition (ID band)
+// per node. IDs are globally unique across all depths, so a ranged
+// dequeue on a node's band can never observe another node's children.
+func (h *Hierarchy) buildPartitioned() {
+	total := 0
+	stack := []*Node{h.root}
+	for len(stack) > 0 {
+		n := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		if len(n.children) == 0 {
+			panic(fmt.Sprintf("hier: node %q has no children", n.Name))
+		}
+		total += len(n.children)
+		for _, c := range n.children {
+			if c.Node != nil {
+				stack = append(stack, c.Node)
+			}
+		}
+	}
+	h.pt = NewPartitioner(h.factory(total))
+
+	level := []*Node{h.root}
+	for len(level) > 0 {
+		var next []*Node
+		index := make(map[uint32]*Child)
+		wall := true
+		for _, n := range level {
+			if n.Policy.DequeueTime != nil {
+				wall = false
+			}
+		}
+		for _, n := range level {
+			part, err := h.pt.Alloc(len(n.children), wall)
+			if err != nil {
+				panic(fmt.Sprintf("hier: allocate band for node %q: %v", n.Name, err))
+			}
+			n.part = part
+			n.lo, n.hi = part.Lo(), part.Hi()
+			for _, c := range n.children {
+				id, ok := part.NextID()
+				if !ok {
+					panic(fmt.Sprintf("hier: band of node %q exhausted", n.Name))
+				}
+				c.ID = id
+				index[id] = c
+				if c.Node != nil {
+					next = append(next, c.Node)
+				}
+			}
+		}
+		h.wall = append(h.wall, wall)
+		h.byID = append(h.byID, index)
+		h.nodesAt = append(h.nodesAt, level)
+		level = next
+	}
+}
+
+// insertEntry inserts child c into node n's logical PIEO and charges the
+// node's operation counters. Callers own n.active and fault accounting.
+func (h *Hierarchy) insertEntry(n *Node, c *Child) error {
+	e := core.Entry{ID: c.ID, Rank: c.Rank, SendTime: c.SendTime}
+	var err error
+	if h.partitioned {
+		err = h.pt.Enqueue(n.part, e)
+	} else {
+		err = h.levels[n.depth].Enqueue(e)
+	}
+	if err == nil {
+		n.stats.Enqueues++
+	}
+	return err
+}
+
+// extractEntry extracts the smallest-ranked eligible child of n's
+// logical PIEO at predicate time t.
+func (h *Hierarchy) extractEntry(n *Node, t clock.Time) (core.Entry, bool) {
+	var e core.Entry
+	var ok bool
+	if h.partitioned {
+		e, ok = h.pt.Dequeue(n.part, t)
+	} else {
+		e, ok = h.levels[n.depth].DequeueRange(t, n.lo, n.hi)
+	}
+	if ok {
+		n.stats.Dequeues++
+	} else {
+		n.stats.EmptyDequeues++
+	}
+	return e, ok
+}
+
+// nodeContains reports whether child id is currently inside n's logical
+// PIEO.
+func (h *Hierarchy) nodeContains(n *Node, id uint32) bool {
+	if h.partitioned {
+		return n.part.Contains(id)
+	}
+	return h.levels[n.depth].Contains(id)
 }
 
 // WireTime returns the wire time of size bytes on the hierarchy's link.
@@ -244,16 +403,44 @@ func (h *Hierarchy) Leaf(id flowq.FlowID) *Child {
 	return c
 }
 
-// Levels returns the number of scheduling levels (physical PIEOs).
-func (h *Hierarchy) Levels() int { return len(h.levels) }
+// Levels returns the number of scheduling levels.
+func (h *Hierarchy) Levels() int { return len(h.wall) }
 
 // Level exposes the physical PIEO at depth d, for tests and resource
-// accounting.
-func (h *Hierarchy) Level(d int) backend.Backend { return h.levels[d] }
+// accounting. In partitioned mode every depth shares the one physical
+// structure, so the shared backend is returned for any d.
+func (h *Hierarchy) Level(d int) backend.Backend {
+	if h.partitioned {
+		return h.pt.Backend()
+	}
+	return h.levels[d]
+}
 
-// BackendStats returns the summed operation counters of every level's
-// backend, for netsim reporting and the cmd/ tools.
+// Partitioned reports whether the hierarchy multiplexes its logical
+// PIEOs onto one shared physical backend.
+func (h *Hierarchy) Partitioned() bool { return h.partitioned }
+
+// Partitioner exposes the band allocator in partitioned mode (nil in
+// per-level mode), for tests and invariant checks.
+func (h *Hierarchy) Partitioner() *Partitioner { return h.pt }
+
+// Nodes returns every interior node in BFS order (root first). Only
+// valid after Build.
+func (h *Hierarchy) Nodes() []*Node {
+	var out []*Node
+	for _, level := range h.nodesAt {
+		out = append(out, level...)
+	}
+	return out
+}
+
+// BackendStats returns the operation counters of the physical
+// structure(s): the sum over per-level backends, or the shared backend's
+// counters in partitioned mode.
 func (h *Hierarchy) BackendStats() backend.Stats {
+	if h.partitioned {
+		return h.pt.Backend().Stats()
+	}
 	var total backend.Stats
 	for _, list := range h.levels {
 		total.Add(list.Stats())
@@ -281,8 +468,7 @@ func (h *Hierarchy) OnArrival(now clock.Time, p flowq.Packet) {
 // there or has nothing to send) and propagates "logical queue went
 // non-empty" up the tree (§4.3 enqueue path).
 func (h *Hierarchy) enqueueChild(now clock.Time, n *Node, c *Child) {
-	list := h.levels[n.depth]
-	if list.Contains(c.ID) {
+	if h.nodeContains(n, c.ID) {
 		return
 	}
 	if c.IsLeaf() {
@@ -293,13 +479,14 @@ func (h *Hierarchy) enqueueChild(now clock.Time, n *Node, c *Child) {
 		return
 	}
 	n.Policy.preEnqueue(n, now, c)
-	if err := list.Enqueue(core.Entry{ID: c.ID, Rank: c.Rank, SendTime: c.SendTime}); err != nil {
+	if err := h.insertEntry(n, c); err != nil {
 		if h.Strict {
 			panic(fmt.Sprintf("hier: enqueue child %d at depth %d: %v", c.ID, n.depth, err))
 		}
 		// Degraded: the child stays out of its parent's logical PIEO and
 		// loses its turn until the next activation re-attempts the insert.
 		h.faults.EnqueueFailures++
+		n.faults.EnqueueFailures++
 		h.lastErr = fmt.Errorf("hier: enqueue child %d at depth %d: %w", c.ID, n.depth, err)
 		return
 	}
@@ -368,7 +555,6 @@ func (h *Hierarchy) descend(n *Node, now clock.Time, path *[]pathStep) bool {
 	if n.Policy.DequeueTime != nil {
 		t = n.Policy.DequeueTime(n, now)
 	}
-	list := h.levels[n.depth]
 	var skipped []*Child
 	defer func() {
 		// Put deferred children back; their policies' PreEnqueue hooks
@@ -378,11 +564,12 @@ func (h *Hierarchy) descend(n *Node, now clock.Time, path *[]pathStep) bool {
 			c.requeued = true
 			n.Policy.preEnqueue(n, now, c)
 			c.requeued = false
-			if err := list.Enqueue(core.Entry{ID: c.ID, Rank: c.Rank, SendTime: c.SendTime}); err != nil {
+			if err := h.insertEntry(n, c); err != nil {
 				if h.Strict {
 					panic(fmt.Sprintf("hier: re-enqueue deferred child %d: %v", c.ID, err))
 				}
 				h.faults.EnqueueFailures++
+				n.faults.EnqueueFailures++
 				h.lastErr = fmt.Errorf("hier: re-enqueue deferred child %d: %w", c.ID, err)
 				continue
 			}
@@ -391,7 +578,7 @@ func (h *Hierarchy) descend(n *Node, now clock.Time, path *[]pathStep) bool {
 	}()
 	retriedIdle := false
 	for {
-		e, ok := list.DequeueRange(t, n.lo, n.hi)
+		e, ok := h.extractEntry(n, t)
 		if !ok {
 			if !retriedIdle && n.active > 0 && n.Policy.OnIdle != nil && n.Policy.OnIdle(n, now) {
 				retriedIdle = true
@@ -411,6 +598,7 @@ func (h *Hierarchy) descend(n *Node, now clock.Time, path *[]pathStep) bool {
 			// A core.ErrUnknownFlow condition: discard the phantom element
 			// and keep descending.
 			h.faults.UnknownFlows++
+			n.faults.UnknownFlows++
 			h.lastErr = fmt.Errorf("%w: depth %d returned id %d", core.ErrUnknownFlow, n.depth, e.ID)
 			continue
 		}
@@ -434,11 +622,30 @@ func (h *Hierarchy) descend(n *Node, now clock.Time, path *[]pathStep) bool {
 func (h *Hierarchy) NextWake(now clock.Time) (clock.Time, bool) {
 	best := clock.Never
 	found := false
-	for d, list := range h.levels {
+	for d := range h.wall {
 		if !h.wall[d] {
 			continue
 		}
-		if t, ok := list.MinSendTime(); ok && t > now && t < best {
+		if t, ok := h.depthMinSendTime(d); ok && t > now && t < best {
+			best = t
+			found = true
+		}
+	}
+	return best, found
+}
+
+// depthMinSendTime returns the smallest send_time queued anywhere at
+// depth d: the level list's O(1) minimum in per-level mode, the fold of
+// the per-partition wheel minima in partitioned mode. Both compute the
+// same value for the same traffic, so wake instants are mode-invariant.
+func (h *Hierarchy) depthMinSendTime(d int) (clock.Time, bool) {
+	if !h.partitioned {
+		return h.levels[d].MinSendTime()
+	}
+	best := clock.Never
+	found := false
+	for _, n := range h.nodesAt[d] {
+		if t, ok := n.part.MinSendTime(); ok && t < best {
 			best = t
 			found = true
 		}

@@ -88,10 +88,9 @@ func fqScale(n *Node, c *Child, size uint32) uint64 {
 // term of the WF²Q+ virtual time update, scoped to this node's logical
 // partition.
 func minChildStart(n *Node) clock.Time {
-	list := n.h.levels[n.depth]
 	minT := clock.Never
 	for _, c := range n.children {
-		if list.Contains(c.ID) && c.SendTime < minT {
+		if n.h.nodeContains(n, c.ID) && c.SendTime < minT {
 			minT = c.SendTime
 		}
 	}

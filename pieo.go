@@ -32,6 +32,8 @@
 package pieo
 
 import (
+	"fmt"
+
 	"pieo/internal/algos"
 	"pieo/internal/backend"
 	"pieo/internal/clock"
@@ -378,6 +380,28 @@ func NewHierarchy(linkRateGbps float64, rootPolicy *Policy) *Hierarchy {
 // count).
 func NewHierarchyOn(linkRateGbps float64, rootPolicy *Policy, factory func(capacity int) Backend) *Hierarchy {
 	return hier.NewOn(linkRateGbps, rootPolicy, factory)
+}
+
+// NewHierOn creates a hierarchy in logical-partitioned mode (§4.2): ALL
+// tree nodes multiplex onto ONE shared physical PIEO of the named
+// registered backend ("core", "cffs", "sharded", "sharded+cffs", ...),
+// each node owning a contiguous ID band extracted with ranged dequeues.
+// This is the mode that scales to tens of thousands of logical
+// schedulers; the per-level constructors above keep the paper's original
+// one-list-per-level layout.
+func NewHierOn(linkRateGbps float64, rootPolicy *Policy, backendName string) (*Hierarchy, error) {
+	// Resolve the name up front so a typo fails at construction, not at
+	// Build (the factory itself cannot return an error).
+	if _, err := backend.New(backendName, 1); err != nil {
+		return nil, err
+	}
+	return hier.NewPartitionedOn(linkRateGbps, rootPolicy, func(n int) Backend {
+		b, err := backend.New(backendName, n)
+		if err != nil {
+			panic(fmt.Sprintf("pieo: backend %q: %v", backendName, err))
+		}
+		return b
+	}), nil
 }
 
 // Per-node policies for hierarchies.

@@ -1,0 +1,36 @@
+#!/usr/bin/env sh
+# coverage_floor.sh <coverprofile> <file-pattern> <floor-pct>
+#
+# Computes the statement-weighted coverage percentage over every file in
+# the Go cover profile whose path matches <file-pattern> (a grep -E
+# regex), and fails if it is below <floor-pct>. Used by CI to hold the
+# hier partition layer (the §4.2 logical-partitioning code) above its
+# coverage floor.
+set -eu
+
+profile=${1:?usage: coverage_floor.sh <coverprofile> <file-pattern> <floor-pct>}
+pattern=${2:?missing file pattern}
+floor=${3:?missing floor percentage}
+
+[ -r "$profile" ] || { echo "coverage_floor: cannot read $profile" >&2; exit 2; }
+
+# Profile lines are "file.go:line.col,line.col numstmts hitcount".
+# Weight each block by its statement count; a block is covered when its
+# hit count is non-zero.
+tail -n +2 "$profile" | grep -E "$pattern" | awk -v floor="$floor" -v pat="$pattern" '
+	{
+		stmts += $2
+		if ($3 > 0) covered += $2
+	}
+	END {
+		if (stmts == 0) {
+			printf "coverage_floor: no profile blocks match %s\n", pat
+			exit 2
+		}
+		pct = 100 * covered / stmts
+		printf "coverage_floor: %s -> %.1f%% of %d statements (floor %s%%)\n", pat, pct, stmts, floor
+		if (pct < floor) {
+			printf "coverage_floor: FAIL: %.1f%% < %s%%\n", pct, floor
+			exit 1
+		}
+	}'
