@@ -555,22 +555,30 @@ func (l *List) firstEligible(now clock.Time, startPos int) int {
 			return -1
 		}
 	}
+	// The scan loops index through registers: active, the block-summary
+	// slice, and the order slice are hoisted into locals so the inner
+	// loops compare against register-resident headers instead of
+	// re-loading l's fields (which the compiler must otherwise assume a
+	// store through the slices could alias) every iteration.
 	pos := startPos
-	for pos < l.active {
+	active := l.active
+	blk := l.eligBlk
+	ord := l.order
+	for pos < active {
 		if pos&eligBlockMask == 0 {
-			for pos < l.active && now < l.eligBlk[pos>>eligBlockShift] {
+			for pos < active && now < blk[pos>>eligBlockShift] {
 				pos += eligBlockLen
 			}
-			if pos >= l.active {
+			if pos >= active {
 				return -1
 			}
 		}
 		end := (pos | eligBlockMask) + 1
-		if end > l.active {
-			end = l.active
+		if end > active {
+			end = active
 		}
 		for ; pos < end; pos++ {
-			if now >= l.order[pos].smallestSendTime {
+			if now >= ord[pos].smallestSendTime {
 				return pos
 			}
 		}

@@ -152,18 +152,21 @@ func Combining() *Table {
 	ops := combiningOps()
 	type config struct {
 		name string
+		k    int
 		make func() combiningTarget
 	}
 	var cur *shard.Engine
 	configs := []config{
 		{
 			name: "synclist",
+			k:    1,
 			make: func() combiningTarget {
 				return &lockedList{b: backend.NewCoreList(combiningCapacity)}
 			},
 		},
 		{
 			name: fmt.Sprintf("sharded-K%d", combiningShards),
+			k:    combiningShards,
 			make: func() combiningTarget {
 				cur = shard.New(combiningCapacity, combiningShards)
 				cur.SetCombining(false)
@@ -172,6 +175,7 @@ func Combining() *Table {
 		},
 		{
 			name: fmt.Sprintf("sharded-K%d+fc", combiningShards),
+			k:    combiningShards,
 			make: func() combiningTarget {
 				cur = shard.New(combiningCapacity, combiningShards)
 				return cur
@@ -181,7 +185,7 @@ func Combining() *Table {
 	t := &Table{
 		ID:      "combining",
 		Title:   "Flat-combining ingress: contended producer cost (8 producers, 1 consumer)",
-		Columns: []string{"backend", "n", "ns/op", "allocs/op", "ring ops", "combined ops", "combined share"},
+		Columns: []string{"backend", "K", "n", "ns/op", "allocs/op", "ring ops", "combined ops", "combined share"},
 	}
 	reps := combiningReps()
 	for _, c := range configs {
@@ -208,6 +212,7 @@ func Combining() *Table {
 		}
 		t.Rows = append(t.Rows, []string{
 			c.name,
+			fmt.Sprintf("%d", c.k),
 			fmt.Sprintf("%d", ops),
 			fmt.Sprintf("%.1f", ns),
 			fmt.Sprintf("%.3f", allocs),

@@ -102,6 +102,7 @@ var registry = map[string]Runner{
 	"hotpath":          Hotpath,
 	"overload":         Overload,
 	"combining":        Combining,
+	"scaling":          Scaling,
 	"cffs":             CFFS,
 	"qdev":             QuantDeviation,
 	"recovery":         Recovery,

@@ -4,11 +4,27 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"unsafe"
 
 	"pieo/internal/backend"
 	"pieo/internal/clock"
 	"pieo/internal/core"
 )
+
+// batchAffinity picks the shard a batch producer's walk starts from. Go
+// exposes no P identity, but a goroutine's stack address is a stable,
+// well-spread proxy for "which execution context am I": stacks are
+// allocated from per-P caches in distinct spans, so hashing a few high
+// bits of a stack-local's address lands concurrent producers on
+// different start shards with high probability — where starting every
+// walk at shard 0 made all of them contend for the same first lock, in
+// order (a lock convoy). Only the VISIT ORDER rotates: each entry's home
+// shard and its batch-position sequence number are unchanged, so
+// quiescent dequeue order is bit-identical for every rotation.
+func batchAffinity(k int) int {
+	var b byte
+	return int((uint64(uintptr(unsafe.Pointer(&b))) >> 10) % uint64(k))
+}
 
 // BatchItemError attributes one failed batch entry: its batch position,
 // its flow ID, and the typed underlying error (core.ErrDuplicate,
@@ -48,12 +64,21 @@ var _ backend.Batcher = (*Engine)(nil)
 // entry's outcome is attributable.
 //
 // The fast path reserves capacity for the whole batch with one atomic
-// add and takes each touched shard's lock once, enqueueing all of that
-// shard's entries under it. When the whole-batch reservation would
-// overshoot capacity the batch falls back to per-entry Enqueue, whose
-// one-slot-at-a-time reservation reproduces the exact sequential
-// full/duplicate precedence at the capacity edge (a mid-batch duplicate
-// must be able to free its slot for a later entry).
+// add and visits each touched shard once — in an affinity-rotated order
+// (see batchAffinity) so concurrent batch producers start their walks on
+// different shards instead of convoying on shard 0's lock. An
+// uncontended shard is taken directly (TryLock) and all of its entries
+// enqueued under one lock hold; a CONTENDED shard's entries are instead
+// published into its combining ring in blocks of up to ringBatchMax
+// records claimed with a single tail CAS (claimN), so the batch pays one
+// contended CAS per block instead of one per entry and the lock holder
+// drains the block in its own critical section. Entry placement and
+// sequence stamping are independent of the visit order and the route, so
+// quiescent semantics are identical either way. When the whole-batch
+// reservation would overshoot capacity the batch falls back to per-entry
+// Enqueue, whose one-slot-at-a-time reservation reproduces the exact
+// sequential full/duplicate precedence at the capacity edge (a mid-batch
+// duplicate must be able to free its slot for a later entry).
 func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 	m := len(es)
 	if m == 0 {
@@ -93,33 +118,39 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 	slotsKept := 0 // entries that keep their batch-reserved capacity slot
 	var firstErr error
 	firstErrIdx := m
-	var fallback []int            // entries rerouted per-entry after a mid-batch quarantine
+	var fallback []int             // entries rerouted per-entry after a mid-batch quarantine
 	var itemErrs []*BatchItemError // per-item failures, surfaced jointly when a reroute happened
-	for si, sd := range e.shards {
-		locked := false
-		failed := false
+	noteItemErr := func(i int, err error) {
+		if i < firstErrIdx {
+			firstErrIdx = i
+			firstErr = err
+		}
+		itemErrs = append(itemErrs, &BatchItemError{Index: i, ID: es[i].ID, Err: err})
+	}
+	k := len(e.shards)
+	aff := 0
+	if k > 1 {
+		aff = batchAffinity(k)
+	}
+	for sj := 0; sj < k; sj++ {
+		si := sj + aff
+		if si >= k {
+			si -= k
+		}
+		sd := e.shards[si]
+		locked := false   // this goroutine holds sd.mu (direct exec route)
+		ringMode := false // this shard's entries go through its combining ring
+		failed := false   // shard quarantined: remaining entries reroute
 		minSend := clock.Never
 		inserted := 0
-		for i := range es {
-			if e.homeIdx(es[i].ID) != si {
-				continue
-			}
-			if failed {
-				fallback = append(fallback, i)
-				continue
-			}
-			if !locked {
-				sd.mu.Lock()
-				if sd.down {
-					// Quarantined since the degraded check: this shard's
-					// entries reroute through Enqueue's probe path.
-					sd.mu.Unlock()
-					failed = true
-					fallback = append(fallback, i)
-					continue
-				}
-				locked = true
-			}
+		var chunk [ringBatchMax]int // batch indexes awaiting a ring block
+		cn := 0
+
+		// execDirect runs one entry under the held shard lock — the same
+		// probe/salvage/phantom-loss dance as before the ring route
+		// existed. On a mid-insert quarantine it releases the lock and
+		// flips the shard to failed.
+		execDirect := func(i int) {
 			var (
 				started bool
 				lerr    error
@@ -156,15 +187,11 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 					}
 					fallback = append(fallback, i)
 				}
-				continue
+				return
 			}
 			if lerr != nil {
-				if i < firstErrIdx {
-					firstErrIdx = i
-					firstErr = lerr
-				}
-				itemErrs = append(itemErrs, &BatchItemError{Index: i, ID: es[i].ID, Err: lerr})
-				continue
+				noteItemErr(i, lerr)
+				return
 			}
 			accepted++
 			slotsKept++
@@ -172,6 +199,111 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 			if es[i].SendTime < minSend {
 				minSend = es[i].SendTime
 			}
+		}
+
+		// flushChunk publishes the buffered entries as one ring block:
+		// claimN turns cn contended tail CASes into one, the records are
+		// published back-to-back, and then EVERY record is awaited — even
+		// after a retry result, so every claimed slot is freed for the
+		// next wrap. A full ring degrades to the blocking locked route
+		// for the chunk and the shard's remaining entries.
+		flushChunk := func() {
+			n := cn
+			cn = 0
+			if n == 0 {
+				return
+			}
+			t, ok := sd.ring.claimN(n)
+			if !ok {
+				sd.mu.Lock()
+				if sd.down {
+					sd.mu.Unlock()
+					failed = true
+					fallback = append(fallback, chunk[:n]...)
+					return
+				}
+				locked = true
+				ringMode = false
+				for _, i := range chunk[:n] {
+					if !locked {
+						// A quarantine inside execDirect dropped the lock.
+						fallback = append(fallback, i)
+						continue
+					}
+					execDirect(i)
+				}
+				return
+			}
+			e.cRingOps.Add(uint64(n))
+			for j := 0; j < n; j++ {
+				tj := t + uint64(j)
+				sd.ring.slots[tj&ringMask].publish(tj, opEnq, es[chunk[j]], base+1+uint64(chunk[j]))
+			}
+			retry := false
+			for j := 0; j < n; j++ {
+				tj := t + uint64(j)
+				res, _ := e.awaitRecord(si, sd, tj, &sd.ring.slots[tj&ringMask])
+				switch res {
+				case resOK:
+					accepted++
+					slotsKept++
+				case resDup:
+					noteItemErr(chunk[j], core.ErrDuplicate)
+				default: // resRetry: quarantined before execution
+					retry = true
+					fallback = append(fallback, chunk[j])
+				}
+			}
+			if retry {
+				failed = true
+			}
+		}
+
+		for i := range es {
+			if e.homeIdx(es[i].ID) != si {
+				continue
+			}
+			if failed {
+				fallback = append(fallback, i)
+				continue
+			}
+			if ringMode {
+				chunk[cn] = i
+				cn++
+				if cn == ringBatchMax {
+					flushChunk()
+				}
+				continue
+			}
+			if !locked {
+				// Route choice, made on the shard's first entry: direct
+				// under TryLock when the shard is uncontended, the ring
+				// when it is (or when tests pin the ring path), a blocking
+				// acquisition when combining is off.
+				if e.combineOn.Load() {
+					if e.forceRing.Load() || !sd.mu.TryLock() {
+						ringMode = true
+						chunk[cn] = i
+						cn++
+						continue
+					}
+				} else {
+					sd.mu.Lock()
+				}
+				if sd.down {
+					// Quarantined since the degraded check: this shard's
+					// entries reroute through Enqueue's probe path.
+					sd.mu.Unlock()
+					failed = true
+					fallback = append(fallback, i)
+					continue
+				}
+				locked = true
+			}
+			execDirect(i)
+		}
+		if cn > 0 {
+			flushChunk()
 		}
 		if locked {
 			if inserted > 0 {
@@ -183,6 +315,10 @@ func (e *Engine) EnqueueBatch(es []core.Entry) (int, error) {
 			sd.mu.Unlock()
 		}
 	}
+	// Reroutes run in batch order regardless of which shard-visit
+	// rotation queued them, so the sequential-equivalence contract's
+	// error precedence is rotation-independent.
+	sort.Ints(fallback)
 	// Release the unused batch slots BEFORE rerouting: rerouted entries
 	// reserve their own slots inside Enqueue, and reserving on top of a
 	// still-held whole-batch reservation could overshoot capacity and

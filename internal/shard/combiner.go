@@ -61,20 +61,31 @@ func (e *Engine) combine(i int, sd *shard, op uint32, ent core.Entry, seq uint64
 	}
 	e.cRingOps.Add(1)
 	rec.publish(t, op, ent, seq)
+	res, out = e.awaitRecord(i, sd, t, rec)
+	return res, out, true
+}
+
+// awaitRecord is a producer's wait loop on its own published record: it
+// alternates between checking for a combiner's result, cancelling the
+// record if the shard quarantines before any combiner claims it, and
+// trying to become the combiner itself. It returns the record's result
+// (resRetry after a cancellation or flush) with the slot freed. Shared
+// by the single-op combine path and EnqueueBatch's block publishes.
+func (e *Engine) awaitRecord(i int, sd *shard, t uint64, rec *ringRecord) (res uint32, out core.Entry) {
 	for {
 		v := rec.turn.Load()
 		switch {
 		case v == 4*t+3:
 			res, out = rec.res, rec.out
 			rec.free(t)
-			return res, out, true
+			return res, out
 		case v == 4*t+1 && sd.downFlag.Load():
 			// The shard quarantined before any combiner claimed the
 			// record. The quarantine's own ring flush may still complete
 			// it; the CAS decides — winning it cancels the record.
 			if rec.turn.CompareAndSwap(4*t+1, 4*t+2) {
 				rec.free(t)
-				return resRetry, core.Entry{}, true
+				return resRetry, core.Entry{}
 			}
 		default:
 			if sd.mu.TryLock() {
@@ -105,6 +116,14 @@ func (e *Engine) drainRingLocked(i int, sd *shard, self uint64) {
 			if !rec.turn.CompareAndSwap(v, v+1) {
 				continue // the producer cancelled concurrently; re-read
 			}
+			// Prefetch: touch the NEXT slot's turn word before executing
+			// this record, so its (likely producer-dirtied) line is already
+			// in flight across the coherence fabric while execOpLocked runs
+			// — the drain's per-record latency is otherwise one exec plus
+			// one demand miss, serialized. A plain atomic load is the
+			// portable prefetch; its value is discarded and re-read for
+			// real on the next iteration.
+			_ = r.slots[(t+1)&ringMask].turn.Load()
 			rec.res, rec.out = e.execOpLocked(i, sd, rec.op, rec.ent, rec.seq)
 			rec.turn.Store(4*t + 3)
 			executed++

@@ -64,8 +64,8 @@ import (
 // DefaultShards is the shard count the backend registry uses.
 const DefaultShards = 8
 
-// maxShards bounds K so the tournament can track visited shards in a
-// single 64-bit mask (no per-dequeue allocation). Shard counts anywhere
+// maxShards bounds K so the tournament's stack-local bounds snapshot is
+// a fixed-size array (no per-dequeue allocation). Shard counts anywhere
 // near it are counterproductive anyway: the tournament scans all K
 // summaries, so K should stay within a small multiple of the CPU count.
 const maxShards = 64
@@ -85,12 +85,43 @@ const dequeueRetries = 4
 // worst a wasted peek, never a wrong skip.
 const emptyRank = ^uint64(0)
 
+// cacheLinePad separates hot words from their neighbors. 64 bytes of
+// padding on each side of a word guarantees the word shares no cache
+// line with the fields around it REGARDLESS of the struct's base
+// alignment (two bytes can only share a 64-byte line when they are less
+// than 64 bytes apart), which is the property layout_test.go pins.
+type cacheLinePad [64]byte
+
+// summaryRank is one shard's minRank summary, padded to a full cache
+// line. The summaries used to be packed 8-per-line for consumer read
+// density, which is the right call at GOMAXPROCS=1 — but under real
+// core parallelism every producer publishes its shard's summary on
+// every mutation, and packed summaries make those stores contend for
+// one line's ownership across K cores (write-side false sharing, the
+// classic RFO ping-pong). Padded, each producer owns its line; the
+// dequeue tournament's scan now touches K lines instead of ⌈K/8⌉, but
+// it walks them with a fixed 64-byte stride the hardware prefetcher
+// recognizes, and at saturation it was going to miss on every freshly
+// written summary either way.
+type summaryRank struct {
+	v atomic.Uint64
+	_ [56]byte
+}
+
 // shard is one partition: a private seq-aware ordered list behind the
 // backend.ShardBackend contract, its lock, and the lock-free summary the
 // tournament reads. Cross-shard FIFO sequencing lives inside the list
 // elements themselves (ShardBackend.EnqueueSeq), so the shard keeps no
 // per-element state of its own — profiling showed a sideband id→seq map
 // costing more than the sublist datapath it annotated.
+//
+// Field layout is deliberate (layout_test.go pins it): the lock-holder's
+// working set (mu, list, residency counters, quarantine bookkeeping)
+// stays together, while the two words remote cores read or poll WITHOUT
+// the lock — minSend (tournament pruning) and downFlag (routing checks)
+// — each sit on their own cache line at the end of the struct. Before
+// the padding, every resident++ under the lock invalidated the line a
+// remote tournament was reading its minSend bound from.
 type shard struct {
 	mu   sync.Mutex
 	list backend.ShardBackend
@@ -117,20 +148,10 @@ type shard struct {
 	// summary one mutation stale; the extraction path re-validates under
 	// the lock, so staleness costs a wasted peek, never a wrong result.
 	//
-	// minRank points into the engine's packed summary array (see
+	// minRank points into the engine's per-line summary array (see
 	// Engine.minRanks); it is exact after every mutation (an O(1) read off
-	// the list's pointer array). minSend is a LOWER BOUND on the true
-	// minimum send time: inserts tighten it in O(1), removals leave it
-	// stale-low (recomputing it exactly would cost an O(√n)
-	// sublist-metadata scan per mutation, which profiling showed
-	// dominating the mutation paths). A low bound is sound for pruning — a
-	// shard is skipped only when even its most optimistic element is
-	// ineligible — and a failed peek repairs the bound exactly when the
-	// staleness wasted work. On a wheel-indexed backend (see idx/exact)
-	// the O(√n) recompute collapses to an O(1) wheel read and minSend is
-	// kept exact after every mutation, removals included.
+	// the list's pointer array).
 	minRank *atomic.Uint64 // emptyRank when empty
-	minSend atomic.Uint64  // lower bound; clock.Never when empty
 
 	// Exact residency bookkeeping, guarded by mu. resident mirrors
 	// list.Len() but survives a panic that leaves the list unreadable, so
@@ -143,11 +164,11 @@ type shard struct {
 	offHomeResident int
 
 	// Quarantine state (see quarantine.go). down is the authoritative
-	// flag, guarded by mu; downFlag mirrors it for lock-free routing
-	// checks. While down, list is nil and the salvage fields hold the
-	// entries recovered from the failed incarnation, awaiting rebuild.
+	// flag, guarded by mu; downFlag (below, on its own line) mirrors it
+	// for lock-free routing checks. While down, list is nil and the
+	// salvage fields hold the entries recovered from the failed
+	// incarnation, awaiting rebuild.
 	down         bool
-	downFlag     atomic.Bool
 	rebuilding   atomic.Bool // CAS-guard: one rebuild attempt at a time
 	salvaged     []core.Entry
 	salvagedSeqs []uint64
@@ -162,6 +183,27 @@ type shard struct {
 	// instant are additionally published through atomics for the engine's
 	// lock-free pre-checks (see supervise.Breaker).
 	brk *supervise.Breaker
+
+	// minSend is a LOWER BOUND on the true minimum send time: inserts
+	// tighten it in O(1), removals leave it stale-low (recomputing it
+	// exactly would cost an O(√n) sublist-metadata scan per mutation,
+	// which profiling showed dominating the mutation paths). A low bound
+	// is sound for pruning — a shard is skipped only when even its most
+	// optimistic element is ineligible — and a failed peek repairs the
+	// bound exactly when the staleness wasted work. On a wheel-indexed
+	// backend (see idx/exact) the O(√n) recompute collapses to an O(1)
+	// wheel read and minSend is kept exact after every mutation, removals
+	// included.
+	//
+	// minSend and downFlag are read lock-free by REMOTE cores (tournament
+	// pruning, routing checks) while the lock-holder mutates the fields
+	// above; the pads keep those remote reads off the lock-holder's
+	// lines.
+	_       cacheLinePad
+	minSend atomic.Uint64 // lower bound; clock.Never when empty
+	_       cacheLinePad
+	downFlag atomic.Bool
+	_        cacheLinePad
 }
 
 // noteMutation refreshes the summary after inserting (or re-ranking) an
@@ -241,17 +283,27 @@ func (s *shard) bindList(l backend.ShardBackend) {
 
 // Engine is the sharded concurrent PIEO. Create one with New; the zero
 // value is not usable.
+//
+// Field layout is deliberate (layout_test.go pins it). The struct is
+// grouped by traffic pattern and the three words every core hammers —
+// size (every enqueue/dequeue), seq (every enqueue), and the
+// nextElig/eligVer pair (nextElig is LOADED on every dequeue by every
+// consumer; eligVer is ADDED on every insert by every producer) — each
+// sit on a private cache line. Before the padding, eligVer's
+// once-per-insert Add invalidated the line holding nextElig under every
+// consumer, turning the O(1) empty-dequeue fast path into a guaranteed
+// coherence miss; the pair is the textbook read-hot/write-hot split.
 type Engine struct {
+	// Read-mostly topology and configuration: written at construction
+	// (or via rare Set* calls before traffic), read on every operation.
 	shards []*shard
 
-	// minRanks packs every shard's minRank summary into one contiguous
-	// array (K×8 bytes — one or two cache lines), because the tournament
-	// scans all K of them on every dequeue: packed, the scan touches a
-	// couple of lines instead of K distinct shard structs. The flip side
-	// is write-sharing between producers on adjacent shards, but a
-	// producer writes its slot once per mutation while the consumer scans
-	// the whole array per dequeue, so read density wins.
-	minRanks []atomic.Uint64
+	// minRanks holds every shard's minRank summary, one padded cache
+	// line per shard (see summaryRank for the packed-vs-padded
+	// trade-off). The tournament walks them with a fixed 64-byte stride;
+	// producers each own their line, so publishing a summary never
+	// steals a line another producer is about to write.
+	minRanks []summaryRank
 
 	capacity int
 
@@ -262,43 +314,28 @@ type Engine struct {
 	newList     func() backend.ShardBackend
 	backendName string
 
-	size atomic.Int64  // global occupancy, enforces the shared capacity
-	seq  atomic.Uint64 // global enqueue sequence for FIFO tie-breaks
+	clk  clock.Source               // supervision clock; nil → op-derived (SetClock)
+	bcfg supervise.BreakerConfig    // effective breaker config (SetBreakerConfig)
+	hook func(shard int, op string) // fault-injection hook; set before traffic
 
-	// Engine-level operation counters are derived from the per-shard
-	// lists (see Stats) so the hot enqueue/dequeue paths pay no extra
-	// atomics; only outcomes invisible to the lists are counted here.
-	emptyDequeues atomic.Uint64 // tournaments that found nothing eligible
-	updateRanks   atomic.Uint64 // successful UpdateRanks (see Stats)
-
-	// Resilience state (see quarantine.go). ops counts degraded-mode
-	// operations and doubles as the default supervision clock when no
-	// clk is injected; downShards gates every degraded-mode slow path,
-	// so the healthy hot path pays one atomic load. probation counts
-	// shards currently serving their half-open probe budget. offHome
-	// counts entries living away from their hash-home shard (placed
-	// there while the home was quarantined); point lookups widen to a
-	// full scan only while it is non-zero.
-	ops        atomic.Uint64
+	// Read-hot flags: loaded on every operation's routing decision,
+	// written rarely (mode switches, quarantine transitions). They share
+	// a line happily — what matters is keeping them OFF the write-hot
+	// lines below, so a mode check never misses because a counter moved.
+	combineOn  atomic.Bool // gates ring publishes (combiner.go)
+	forceRing  atomic.Bool // pins tests to the ring path
+	eligOff    atomic.Bool // latched DisableEligIndex (survives rebuilds)
 	downShards atomic.Int32
 	probation  atomic.Int32
 	offHome    atomic.Int64
-	clk        clock.Source               // supervision clock; nil → op-derived (SetClock)
-	bcfg       supervise.BreakerConfig    // effective breaker config (SetBreakerConfig)
-	hook       func(shard int, op string) // fault-injection hook; set before traffic
-	fstats     faultCounters
-	eventMu    sync.Mutex
-	events     []FaultEvent
 
-	// Flat-combining ingress state (ring.go, combiner.go): combineOn gates
-	// ring publishes (the TryLock direct path needs no gate — it is the
-	// plain locked path), forceRing pins tests to the ring path, and the
-	// counters feed CombiningStats.
-	combineOn    atomic.Bool
-	forceRing    atomic.Bool
-	cRingOps     atomic.Uint64
-	cCombinedOps atomic.Uint64
-	cDrains      atomic.Uint64
+	// Write-hot singletons, one line each: every core mutates these, so
+	// sharing a line with ANY read path is a coherence miss per op.
+	_    cacheLinePad
+	size atomic.Int64 // global occupancy, enforces the shared capacity
+	_    cacheLinePad
+	seq  atomic.Uint64 // global enqueue sequence for FIFO tie-breaks
+	_    cacheLinePad
 
 	// nextElig is the engine-wide next-eligible index: a lower bound on
 	// the smallest send_time across every element queued in a healthy
@@ -309,13 +346,40 @@ type Engine struct {
 	// summary); an unranged tournament that comes up empty raises it via
 	// raiseNextElig. eligVer counts inserts and guards the raise against
 	// racing inserts; see DESIGN.md §9 for the ordering argument.
+	//
+	// The pair is deliberately SPLIT across cache lines: nextElig is
+	// read-hot (every consumer, every dequeue) while eligVer is
+	// write-hot (every producer, every insert), and the insert-side Add
+	// cannot be elided — the version bump is what makes a racing raise
+	// abort — so the only fix for the producer-invalidates-consumer
+	// pattern is distance.
 	nextElig atomic.Uint64
+	_        cacheLinePad
 	eligVer  atomic.Uint64
+	_        cacheLinePad
 
-	// eligOff latches Engine.DisableEligIndex so quarantine rebuilds
-	// construct their fresh incarnations without a wheel index either —
-	// otherwise a fault would silently re-enable the index mid-baseline.
-	eligOff atomic.Bool
+	// Write-warm counters: bumped on specific outcomes (empty misses,
+	// ring publishes, drains, degraded ops), never read on the hot path.
+	// They share lines with each other, not with anything read-hot.
+	emptyDequeues atomic.Uint64 // tournaments that found nothing eligible
+	updateRanks   atomic.Uint64 // successful UpdateRanks (see Stats)
+	cRingOps      atomic.Uint64 // combining counters (CombiningStats)
+	cCombinedOps  atomic.Uint64
+	cDrains       atomic.Uint64
+
+	// Resilience state (see quarantine.go). ops counts degraded-mode
+	// operations and doubles as the default supervision clock when no
+	// clk is injected; downShards (above, with the read-hot flags) gates
+	// every degraded-mode slow path, so the healthy hot path pays one
+	// atomic load. probation counts shards currently serving their
+	// half-open probe budget. offHome counts entries living away from
+	// their hash-home shard (placed there while the home was
+	// quarantined); point lookups widen to a full scan only while it is
+	// non-zero.
+	ops     atomic.Uint64
+	fstats  faultCounters
+	eventMu sync.Mutex
+	events  []FaultEvent
 }
 
 // New creates a sharded engine with total capacity n spread over k
@@ -363,7 +427,7 @@ func NewOn(n, k int, factory backend.ShardFactory) *Engine {
 	cfg := backend.ShardConfig{Capacity: n, ExpectedOccupancy: (n + k - 1) / k}
 	e := &Engine{
 		shards:      make([]*shard, k),
-		minRanks:    make([]atomic.Uint64, k),
+		minRanks:    make([]summaryRank, k),
 		capacity:    n,
 		newList:     func() backend.ShardBackend { return factory(cfg) },
 		backendName: "custom",
@@ -373,7 +437,7 @@ func NewOn(n, k int, factory backend.ShardFactory) *Engine {
 		e.shards[i] = &shard{
 			eng:     e,
 			ring:    newOpRing(),
-			minRank: &e.minRanks[i],
+			minRank: &e.minRanks[i].v,
 			brk:     supervise.NewBreaker(i, supervise.BreakerConfig{}),
 		}
 		e.shards[i].bindList(e.newList())
@@ -628,32 +692,43 @@ type candidate struct {
 // c.entry, so single-element callers pass sink=nil and stay
 // allocation-free. budget == 0 is a pure peek.
 func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget int, sink *[]core.Entry) (c candidate, found bool, taken int) {
-	// Selection, not sort: each round rescans the packed minRank array for
-	// the smallest unvisited bound (tracking the runner-up as the drain
-	// limit), and the tournament almost always ends after one probe (the
-	// next bound can't beat it), so a full ordering — or even a collected
-	// copy of the summaries — would be wasted work. visited is a bitmask
-	// over shard indices (maxShards caps K at 64): pruned-empty, probed,
-	// and quarantined shards all get their bit set and drop out of later
-	// rounds. The minSend bound is read lazily when a shard wins a round,
-	// so a dequeue loads K contiguous words per round plus one or two
-	// minSend words instead of 2K words scattered across K shard structs.
+	// Selection, not sort: the K summary bounds are snapshotted ONCE with
+	// a single linear pass of atomic loads (fixed 64-byte stride over the
+	// padded summaryRank array — a pattern the hardware prefetcher
+	// streams), and each round then scans the LOCAL copy for the smallest
+	// unvisited bound (tracking the runner-up as the drain limit),
+	// overwriting a visited slot with emptyRank so it drops out of later
+	// rounds. The tournament almost always ends after one probe (the next
+	// bound can't beat it), so a full ordering would be wasted work — and
+	// re-loading the atomics every round, as earlier revisions did, chains
+	// each round's comparisons behind K fresh cache-coherent loads whose
+	// lines producers are concurrently invalidating. The snapshot breaks
+	// that dependency: rounds after the first race only against registers.
+	// Staleness is already in the contract (a summary may be one mutation
+	// stale; the probe re-validates under the shard lock), and quiescently
+	// nothing mutates between rounds, so the snapshot is bit-exact there.
+	// Probed shards are cleared the same way (bounds[mi] = emptyRank
+	// before the probe), which also covers the down-between-read-and-lock
+	// path. The minSend bound is read lazily
+	// when a shard wins a round, so a dequeue loads K summary words once
+	// plus one or two minSend words instead of 2K words per round
+	// scattered across K shard structs.
 	var (
-		visited uint64
-		best    candidate
+		best   candidate
+		bounds [maxShards]uint64
 	)
 	k := len(e.shards)
+	ranks := e.minRanks
+	for i := 0; i < k; i++ {
+		bounds[i] = ranks[i].v.Load()
+	}
 	for {
 		mi := -1          // shard index of the smallest remaining bound
 		var mr uint64     // its bound
 		next := emptyRank // second-smallest remaining bound: the drain limit
 		for i := 0; i < k; i++ {
-			if visited&(1<<uint(i)) != 0 {
-				continue
-			}
-			r := e.minRanks[i].Load()
+			r := bounds[i]
 			if r == emptyRank {
-				visited |= 1 << uint(i)
 				continue
 			}
 			if mi < 0 || r < mr {
@@ -668,12 +743,12 @@ func (e *Engine) tournament(now clock.Time, lo, hi uint32, ranged bool, budget i
 		if mi < 0 {
 			break
 		}
+		bounds[mi] = emptyRank
 		// Ascending bounds: the first bound the best already beats ends
 		// the tournament.
 		if found && mr > best.entry.Rank {
 			break
 		}
-		visited |= 1 << uint(mi)
 		sd := e.shards[mi]
 		// The lazily-read eligibility bound: a shard whose most optimistic
 		// send time is still in the future cannot hold an eligible element
